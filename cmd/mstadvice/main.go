@@ -1,0 +1,118 @@
+// Command mstadvice runs one advising scheme on one generated graph and
+// prints its measured (m, t) profile:
+//
+//	mstadvice -scheme core -family grid -n 256 -seed 7
+//	mstadvice -scheme noadvice -family path -n 512
+//	mstadvice -all -family lollipop -n 128
+//	mstadvice -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mstadvice"
+
+	"mstadvice/internal/graph/gen"
+	"mstadvice/internal/report"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "core", "scheme: trivial | oneround | core | core-adaptive | localgather | noadvice | pipeline")
+		family     = flag.String("family", "random", "graph family (see -list)")
+		n          = flag.Int("n", 64, "approximate node count")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		root       = flag.Int("root", 0, "designated root node")
+		weights    = flag.String("weights", "distinct", "weight mode: distinct | random | unit")
+		all        = flag.Bool("all", false, "run every scheme on the graph and print a comparison table")
+		list       = flag.Bool("list", false, "list schemes and families, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("schemes:")
+		for _, s := range mstadvice.Schemes() {
+			fmt.Printf("  %s\n", s.Name())
+		}
+		fmt.Println("families: path ring grid tree random expander star caterpillar binarytree complete wheel lollipop")
+		return
+	}
+
+	scheme, ok := mstadvice.SchemeByName(*schemeName)
+	if !ok {
+		fail("unknown scheme %q (try -list)", *schemeName)
+	}
+	fam, err := gen.ByName(*family)
+	if err != nil {
+		fail("%v", err)
+	}
+	var mode mstadvice.WeightMode
+	switch *weights {
+	case "distinct":
+		mode = mstadvice.WeightsDistinct
+	case "random":
+		mode = mstadvice.WeightsRandom
+	case "unit":
+		mode = mstadvice.WeightsUnit
+	default:
+		fail("unknown weight mode %q", *weights)
+	}
+
+	g := fam.Build(*n, rand.New(rand.NewSource(*seed)), gen.Options{Weights: mode})
+	if *root < 0 || *root >= g.N() {
+		fail("root %d out of range [0,%d)", *root, g.N())
+	}
+
+	if *all {
+		t := report.New(
+			fmt.Sprintf("all schemes on %s (n=%d, m=%d, weights=%s, seed=%d)", *family, g.N(), g.M(), mode, *seed),
+			"scheme", "advice max", "advice avg", "rounds", "messages", "max msg [bits]", "exact MST")
+		for _, s := range mstadvice.Schemes() {
+			res, err := mstadvice.Run(s, g, mstadvice.NodeID(*root), mstadvice.RunOptions{})
+			if err != nil {
+				fail("%s: %v", s.Name(), err)
+			}
+			t.Add(s.Name(), res.Advice.MaxBits, res.Advice.AvgBits, res.Rounds,
+				res.Messages, res.MaxMsgBits, res.Verified)
+		}
+		if _, err := t.WriteTo(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+
+	res, err := mstadvice.Run(scheme, g, mstadvice.NodeID(*root), mstadvice.RunOptions{})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("scheme        %s\n", res.Scheme)
+	fmt.Printf("graph         %s, n=%d, m=%d, weights=%s, seed=%d\n", *family, res.N, res.M, mode, *seed)
+	fmt.Printf("advice        max %d bits, avg %.2f bits, total %d bits\n",
+		res.Advice.MaxBits, res.Advice.AvgBits, res.Advice.TotalBits)
+	fmt.Printf("rounds        %d\n", res.Rounds)
+	if res.Pulses > 0 {
+		fmt.Printf("pulses        %d (idealized synchronizer barriers)\n", res.Pulses)
+	}
+	fmt.Printf("messages      %d (total %d bits, largest %d bits)\n",
+		res.Messages, res.MsgBits, res.MaxMsgBits)
+	fmt.Printf("output root   node %d\n", res.Root)
+	if res.Verified {
+		fmt.Printf("verification  exact rooted MST: OK\n")
+	} else {
+		fmt.Printf("verification  FAILED: %v\n", res.VerifyErr)
+		os.Exit(1)
+	}
+	if res.Scheme == "core" {
+		exact, paper := mstadvice.ConstantAdviceRounds(res.N)
+		fmt.Printf("round bounds  schedule %d, paper 9⌈log n⌉ = %d\n", exact, paper)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mstadvice: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,96 @@
+package mstadvice_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mstadvice"
+)
+
+// ExampleRun demonstrates the paper's main scheme end to end on a small
+// hand-built network.
+func ExampleRun() {
+	g, err := mstadvice.NewBuilder(4).
+		AddEdge(0, 1, 1).
+		AddEdge(1, 2, 2).
+		AddEdge(2, 3, 3).
+		AddEdge(3, 0, 4).
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	res, err := mstadvice.Run(mstadvice.ConstantAdvice(), g, 0, mstadvice.RunOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verified:", res.Verified)
+	fmt.Println("root:", res.Root)
+	fmt.Println("max advice bits:", res.Advice.MaxBits)
+	// Output:
+	// verified: true
+	// root: 0
+	// max advice bits: 4
+}
+
+// ExampleTrivial shows the zero-round scheme: the whole answer rides in
+// ⌈log n⌉ advice bits.
+func ExampleTrivial() {
+	g, _ := mstadvice.NewBuilder(3).
+		AddEdge(0, 1, 5).
+		AddEdge(1, 2, 3).
+		AddEdge(0, 2, 8).
+		Build()
+	res, _ := mstadvice.Run(mstadvice.Trivial(), g, 2, mstadvice.RunOptions{})
+	fmt.Println("rounds:", res.Rounds)
+	fmt.Println("messages:", res.Messages)
+	fmt.Println("verified:", res.Verified)
+	// Output:
+	// rounds: 0
+	// messages: 0
+	// verified: true
+}
+
+// ExampleSchemeByName looks schemes up dynamically, as the CLI does.
+func ExampleSchemeByName() {
+	s, ok := mstadvice.SchemeByName("oneround")
+	fmt.Println(ok, s.Name())
+	_, ok = mstadvice.SchemeByName("no-such-scheme")
+	fmt.Println(ok)
+	// Output:
+	// true oneround
+	// false
+}
+
+// ExampleConstantAdviceRounds shows the exact decoder schedule against
+// the paper's 9·⌈log n⌉ bound.
+func ExampleConstantAdviceRounds() {
+	exact, paper := mstadvice.ConstantAdviceRounds(1024)
+	fmt.Println(exact, "<=", paper)
+	// Output:
+	// 80 <= 90
+}
+
+// ExampleNewLowerBoundFamily runs Theorem 1's pigeonhole experiment.
+func ExampleNewLowerBoundFamily() {
+	fam, err := mstadvice.NewLowerBoundFamily(12, 4)
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range []int{0, 2, 3} {
+		res := fam.Experiment(m)
+		fmt.Printf("m=%d served %d/%d\n", m, res.Served, res.K)
+	}
+	// Output:
+	// m=0 served 1/8
+	// m=2 served 4/8
+	// m=3 served 8/8
+}
+
+// ExampleGenRandomConnected generates a reproducible experiment graph.
+func ExampleGenRandomConnected() {
+	rng := rand.New(rand.NewSource(7))
+	g := mstadvice.GenRandomConnected(10, 20, rng, mstadvice.GenOptions{})
+	fmt.Println(g.N(), g.M(), g.Connected())
+	// Output:
+	// 10 20 true
+}

@@ -1,0 +1,43 @@
+// Lowerbound demonstrates Theorem 1: with zero communication rounds,
+// fewer than log k advice bits cannot identify the MST parent edge at a
+// spine node of the paper's graph G_n, no matter how clever the oracle.
+//
+//	go run ./examples/lowerbound
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mstadvice"
+)
+
+func main() {
+	const n, i = 24, 6 // G_n on 2n nodes; adversary sits at spine node u_i
+	fam, err := mstadvice.NewLowerBoundFamily(n, i)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("G_%d: two spined copies of K_%d joined by a weight-0 bridge (%d nodes)\n",
+		n, n, fam.Instances[0].N())
+	fmt.Printf("adversary at spine node u_%d: k = %d rotated instances,\n", i, fam.K)
+	fmt.Println("all presenting the identical zero-round view (same weight on every port)")
+	fmt.Println()
+
+	fmt.Printf("%-14s %-18s %-22s\n", "advice bits m", "instances served", "pigeonhole bound")
+	for m := 0; m <= 6; m++ {
+		res := fam.Experiment(m)
+		marker := ""
+		if res.Served == res.K {
+			marker = "   <- full coverage"
+		}
+		fmt.Printf("%-14d %-18d %-22d%s\n", m, res.Served, res.Bound, marker)
+	}
+	fmt.Println()
+	fmt.Println("a 0-round decoder outputs a function of (view, advice); the view is fixed")
+	fmt.Println("across the family, so 2^m advice strings can name at most 2^m different")
+	fmt.Println("ports — but the correct port differs in every one of the k instances.")
+	fmt.Println("averaged over the spine this forces Ω(log n) advice bits per node, which")
+	fmt.Println("is exactly what the trivial (⌈log n⌉, 0)-scheme pays. One round of")
+	fmt.Println("communication (Theorem 2) collapses the average to a constant.")
+}

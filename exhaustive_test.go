@@ -1,0 +1,114 @@
+package mstadvice
+
+// Exhaustive verification on tiny instances: every labelled connected
+// graph on 4 nodes (38 of them), every root, two weight regimes, for the
+// three advice schemes. Exhaustive small-case coverage catches boundary
+// bugs (singleton fragments, two-node fragments, early-completing
+// decompositions) that random sweeps can miss.
+
+import (
+	"testing"
+)
+
+// fourNodeEdges enumerates the 6 possible edges of K4.
+var fourNodeEdges = [6][2]NodeID{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+
+func connectedMask(mask int) bool {
+	adj := [4][4]bool{}
+	for i, e := range fourNodeEdges {
+		if mask&(1<<uint(i)) != 0 {
+			adj[e[0]][e[1]] = true
+			adj[e[1]][e[0]] = true
+		}
+	}
+	seen := [4]bool{}
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for v := 0; v < 4; v++ {
+			if adj[u][v] && !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == 4
+}
+
+func buildMask(t *testing.T, mask int, distinct bool) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	w := Weight(1)
+	for i, e := range fourNodeEdges {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if distinct {
+			b.AddEdge(e[0], e[1], Weight(i+1))
+		} else {
+			b.AddEdge(e[0], e[1], 1)
+		}
+		w++
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExhaustiveFourNodeGraphs(t *testing.T) {
+	schemes := []Scheme{Trivial(), OneRound(), ConstantAdvice(), ConstantAdviceAdaptive()}
+	graphs := 0
+	for mask := 0; mask < 64; mask++ {
+		if !connectedMask(mask) {
+			continue
+		}
+		graphs++
+		for _, distinct := range []bool{true, false} {
+			g := buildMask(t, mask, distinct)
+			for root := NodeID(0); root < 4; root++ {
+				for _, s := range schemes {
+					res, err := Run(s, g, root, RunOptions{})
+					if err != nil {
+						t.Fatalf("mask=%06b distinct=%v root=%d %s: %v", mask, distinct, root, s.Name(), err)
+					}
+					if !res.Verified || res.Root != root {
+						t.Fatalf("mask=%06b distinct=%v root=%d %s: verified=%v root=%d (%v)",
+							mask, distinct, root, s.Name(), res.Verified, res.Root, res.VerifyErr)
+					}
+				}
+			}
+		}
+	}
+	if graphs != 38 {
+		t.Fatalf("enumerated %d connected graphs on 4 labelled nodes, want 38", graphs)
+	}
+}
+
+// The same exhaustive sweep for the no-advice baselines (fewer cells:
+// they choose their own root).
+func TestExhaustiveFourNodeBaselines(t *testing.T) {
+	schemes := []Scheme{LocalGather(), NoAdvice(), Pipeline()}
+	for mask := 0; mask < 64; mask++ {
+		if !connectedMask(mask) {
+			continue
+		}
+		for _, distinct := range []bool{true, false} {
+			g := buildMask(t, mask, distinct)
+			for _, s := range schemes {
+				res, err := Run(s, g, 0, RunOptions{})
+				if err != nil {
+					t.Fatalf("mask=%06b distinct=%v %s: %v", mask, distinct, s.Name(), err)
+				}
+				if !res.Verified {
+					t.Fatalf("mask=%06b distinct=%v %s: %v", mask, distinct, s.Name(), res.VerifyErr)
+				}
+			}
+		}
+	}
+}

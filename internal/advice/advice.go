@@ -1,0 +1,150 @@
+// Package advice defines the advising-scheme framework of Fraigniaud,
+// Korman and Lebhar (SPAA 2007) and the harness that runs a scheme end to
+// end: an oracle inspects the whole weighted network and assigns each node
+// a bit string; a distributed decoder then computes a rooted MST using
+// only local inputs and the advice, and the harness verifies the output
+// against the unique reference MST and reports the (m, t) profile —
+// maximum/average advice size and round count — together with message
+// statistics.
+package advice
+
+import (
+	"fmt"
+
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/graph"
+	"mstadvice/internal/mst"
+	"mstadvice/internal/sim"
+)
+
+// Scheme is an (m, t)-advising scheme: a centralized oracle plus a
+// distributed decoder.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Advise computes the per-node advice for computing the MST of g
+	// rooted at root. Implementations may return nil for "no advice".
+	Advise(g *graph.Graph, root graph.NodeID) ([]*bitstring.BitString, error)
+	// NewNode builds the decoder instance for one node from its local view.
+	NewNode(view *sim.NodeView) sim.Node
+}
+
+// Stats summarise an advice assignment.
+type Stats struct {
+	MaxBits   int
+	TotalBits int
+	AvgBits   float64
+}
+
+// Measure computes size statistics for an assignment over n nodes (nil
+// assignment = all-empty advice).
+func Measure(assignment []*bitstring.BitString, n int) Stats {
+	var s Stats
+	for _, a := range assignment {
+		bits := a.Len()
+		s.TotalBits += bits
+		if bits > s.MaxBits {
+			s.MaxBits = bits
+		}
+	}
+	if n > 0 {
+		s.AvgBits = float64(s.TotalBits) / float64(n)
+	}
+	return s
+}
+
+// Result is the outcome of running a scheme on one instance.
+type Result struct {
+	Scheme string
+	N, M   int
+
+	Advice Stats
+
+	Rounds     int
+	Pulses     int
+	Messages   int64
+	MsgBits    int64
+	MaxMsgBits int
+	// CongestViolations counts messages exceeding sim.Options.CongestB
+	// (0 when auditing is off).
+	CongestViolations int64
+	// PerRound holds per-round message statistics when
+	// sim.Options.RecordRoundStats is set.
+	PerRound []sim.RoundStats
+
+	// Root is the node that output "root" (-1 parent port).
+	Root graph.NodeID
+	// ParentPorts is the raw distributed output.
+	ParentPorts []int
+	// Verified is true iff the output is exactly the unique rooted MST.
+	Verified bool
+	// VerifyErr explains a verification failure.
+	VerifyErr error
+}
+
+// PulseNeeder is implemented by schemes whose decoders are self-timed and
+// require the simulator's quiescence synchronizer; Run enables it for
+// them automatically.
+type PulseNeeder interface {
+	NeedsPulses() bool
+}
+
+// Run executes scheme end to end on g with the designated root and
+// verifies the output. Engine failures (non-termination, protocol
+// violations) are returned as errors; verification failures are reported
+// in the Result so experiments can count them.
+func Run(scheme Scheme, g *graph.Graph, root graph.NodeID, opt sim.Options) (*Result, error) {
+	if p, ok := scheme.(PulseNeeder); ok && p.NeedsPulses() {
+		opt.EnablePulses = true
+	}
+	assignment, err := scheme.Advise(g, root)
+	if err != nil {
+		return nil, fmt.Errorf("advice: oracle %s: %w", scheme.Name(), err)
+	}
+	if assignment != nil && len(assignment) != g.N() {
+		return nil, fmt.Errorf("advice: oracle %s returned %d strings for %d nodes", scheme.Name(), len(assignment), g.N())
+	}
+	nw := sim.NewNetwork(g)
+	simRes, err := nw.Run(scheme.NewNode, assignment, opt)
+	if err != nil {
+		return nil, fmt.Errorf("advice: scheme %s: %w", scheme.Name(), err)
+	}
+	res := &Result{
+		Scheme:            scheme.Name(),
+		N:                 g.N(),
+		M:                 g.M(),
+		Advice:            Measure(assignment, g.N()),
+		Rounds:            simRes.Rounds,
+		Pulses:            simRes.Pulses,
+		Messages:          simRes.Messages,
+		MsgBits:           simRes.TotalBits,
+		MaxMsgBits:        simRes.MaxMsgBits,
+		CongestViolations: simRes.CongestViolations,
+		PerRound:          simRes.PerRound,
+		ParentPorts:       simRes.ParentPorts,
+		Root:              -1,
+	}
+	res.Verified, res.Root, res.VerifyErr = VerifyOutput(g, simRes.ParentPorts)
+	return res, nil
+}
+
+// VerifyOutput checks that parent ports encode the unique rooted MST of g
+// with exactly one root, returning the root found.
+func VerifyOutput(g *graph.Graph, parentPorts []int) (bool, graph.NodeID, error) {
+	root := graph.NodeID(-1)
+	for u, p := range parentPorts {
+		if p == -1 {
+			if root != -1 {
+				return false, -1, fmt.Errorf("advice: nodes %d and %d both claim root", root, u)
+			}
+			root = graph.NodeID(u)
+		}
+	}
+	if root == -1 {
+		return false, -1, fmt.Errorf("advice: no node claims root")
+	}
+	if err := mst.VerifyRooted(g, parentPorts, root); err != nil {
+		return false, root, err
+	}
+	return true, root, nil
+}

@@ -1,0 +1,142 @@
+package advice
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/graph"
+	"mstadvice/internal/graph/gen"
+	"mstadvice/internal/mst"
+	"mstadvice/internal/sim"
+)
+
+func TestMeasure(t *testing.T) {
+	mk := func(bits int) *bitstring.BitString {
+		s := bitstring.New(bits)
+		for i := 0; i < bits; i++ {
+			s.AppendBit(true)
+		}
+		return s
+	}
+	stats := Measure([]*bitstring.BitString{mk(3), mk(0), mk(7)}, 3)
+	if stats.MaxBits != 7 || stats.TotalBits != 10 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.AvgBits < 3.32 || stats.AvgBits > 3.34 {
+		t.Fatalf("avg = %f", stats.AvgBits)
+	}
+	empty := Measure(nil, 5)
+	if empty.MaxBits != 0 || empty.TotalBits != 0 || empty.AvgBits != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+	zero := Measure(nil, 0)
+	if zero.AvgBits != 0 {
+		t.Fatal("division by zero guarded")
+	}
+}
+
+func TestVerifyOutput(t *testing.T) {
+	g := graph.NewBuilder(3).
+		AddEdge(0, 1, 1).
+		AddEdge(1, 2, 2).
+		AddEdge(0, 2, 9).
+		MustBuild()
+	tree, err := mst.Kruskal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := mst.Root(g, tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, root, verr := VerifyOutput(g, pp)
+	if !ok || root != 1 || verr != nil {
+		t.Fatalf("valid output rejected: %v %v %v", ok, root, verr)
+	}
+
+	// No root.
+	bad := append([]int(nil), pp...)
+	bad[1] = 0
+	if ok, _, _ := VerifyOutput(g, bad); ok {
+		t.Fatal("rootless output accepted")
+	}
+	// Two roots.
+	bad = append([]int(nil), pp...)
+	bad[0] = -1
+	if ok, _, _ := VerifyOutput(g, bad); ok {
+		t.Fatal("two-root output accepted")
+	}
+	// Non-minimum tree.
+	bad = []int{g.PortAt(2, 0), -1, g.PortAt(2, 2)}
+	if ok, _, _ := VerifyOutput(g, bad); ok {
+		t.Fatal("non-MST accepted")
+	}
+}
+
+// failingScheme exercises the error paths of Run.
+type failingScheme struct {
+	adviseErr bool
+	badLen    bool
+}
+
+func (f failingScheme) Name() string { return "failing" }
+func (f failingScheme) Advise(g *graph.Graph, root graph.NodeID) ([]*bitstring.BitString, error) {
+	if f.adviseErr {
+		return nil, errors.New("oracle exploded")
+	}
+	if f.badLen {
+		return make([]*bitstring.BitString, 1), nil
+	}
+	return nil, nil
+}
+func (f failingScheme) NewNode(view *sim.NodeView) sim.Node { return &stuckNode{} }
+
+type stuckNode struct{}
+
+func (*stuckNode) Start(*sim.Ctx, *sim.NodeView) []sim.Send                 { return nil }
+func (*stuckNode) Round(*sim.Ctx, *sim.NodeView, []sim.Received) []sim.Send { return nil }
+func (*stuckNode) Output() (int, bool)                                      { return -1, false }
+
+func TestRunErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.Ring(5, rng, gen.Options{})
+	if _, err := Run(failingScheme{adviseErr: true}, g, 0, sim.Options{}); err == nil {
+		t.Fatal("oracle error not propagated")
+	}
+	if _, err := Run(failingScheme{badLen: true}, g, 0, sim.Options{}); err == nil {
+		t.Fatal("advice length mismatch not caught")
+	}
+	if _, err := Run(failingScheme{}, g, 0, sim.Options{MaxRounds: 5}); err == nil {
+		t.Fatal("non-terminating decoder not caught")
+	}
+}
+
+// A scheme whose decoder emits a wrong tree must come back with
+// Verified=false and a non-nil VerifyErr, not an error.
+type wrongScheme struct{}
+
+func (wrongScheme) Name() string { return "wrong" }
+func (wrongScheme) Advise(g *graph.Graph, root graph.NodeID) ([]*bitstring.BitString, error) {
+	return nil, nil
+}
+func (wrongScheme) NewNode(view *sim.NodeView) sim.Node { return &wrongNode{} }
+
+type wrongNode struct{}
+
+func (*wrongNode) Start(*sim.Ctx, *sim.NodeView) []sim.Send                 { return nil }
+func (*wrongNode) Round(*sim.Ctx, *sim.NodeView, []sim.Received) []sim.Send { return nil }
+func (*wrongNode) Output() (int, bool)                                      { return 0, true } // everyone claims port 0
+
+func TestRunReportsVerificationFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.Ring(5, rng, gen.Options{})
+	res, err := Run(wrongScheme{}, g, 0, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified || res.VerifyErr == nil {
+		t.Fatalf("wrong output verified: %+v", res)
+	}
+}

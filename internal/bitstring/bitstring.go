@@ -1,0 +1,277 @@
+// Package bitstring implements compact bit strings used as advice payloads
+// by the advising schemes of Fraigniaud, Korman and Lebhar (SPAA 2007).
+//
+// A BitString is an append-only sequence of bits with O(1) random access.
+// A Reader is a consuming cursor over a BitString; it is the concrete
+// realisation of the paper's cons(u, i) pointer ("how many advice bits node
+// u has consumed so far"). Fixed-width unsigned integers provide the
+// bin(j) encodings of the paper, and Chunks/SplitChunks implement the
+// bitmap self-delimiting format of the Theorem 2 scheme ("a bit-map
+// indicating the separation between the advices corresponding to different
+// phases", which doubles the advice size).
+package bitstring
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BitString is a growable sequence of bits. The zero value is an empty
+// string ready for use. Bits are indexed from 0 in append order.
+type BitString struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty BitString with capacity for at least n bits.
+func New(n int) *BitString {
+	if n < 0 {
+		n = 0
+	}
+	return &BitString{words: make([]uint64, 0, (n+63)/64)}
+}
+
+// FromBits builds a BitString from a slice of booleans.
+func FromBits(bits []bool) *BitString {
+	s := New(len(bits))
+	for _, b := range bits {
+		s.AppendBit(b)
+	}
+	return s
+}
+
+// Len returns the number of bits in s.
+func (s *BitString) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Bit returns the i-th bit. It panics if i is out of range.
+func (s *BitString) Bit(i int) bool {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitstring: index %d out of range [0,%d)", i, s.n))
+	}
+	return s.words[i/64]>>(uint(i)%64)&1 == 1
+}
+
+// AppendBit appends a single bit.
+func (s *BitString) AppendBit(b bool) {
+	w, off := s.n/64, uint(s.n)%64
+	if w == len(s.words) {
+		s.words = append(s.words, 0)
+	}
+	if b {
+		s.words[w] |= 1 << off
+	}
+	s.n++
+}
+
+// AppendUint appends the width lowest-order bits of v, least significant
+// bit first. It panics if width is not in [0,64] or if v does not fit.
+func (s *BitString) AppendUint(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitstring: invalid width %d", width))
+	}
+	if width < 64 && v>>uint(width) != 0 {
+		panic(fmt.Sprintf("bitstring: value %d does not fit in %d bits", v, width))
+	}
+	for i := 0; i < width; i++ {
+		s.AppendBit(v>>uint(i)&1 == 1)
+	}
+}
+
+// Append appends all bits of t to s.
+func (s *BitString) Append(t *BitString) {
+	for i := 0; i < t.Len(); i++ {
+		s.AppendBit(t.Bit(i))
+	}
+}
+
+// Slice returns a copy of bits [from, to).
+func (s *BitString) Slice(from, to int) *BitString {
+	if from < 0 || to < from || to > s.n {
+		panic(fmt.Sprintf("bitstring: bad slice [%d,%d) of %d", from, to, s.n))
+	}
+	out := New(to - from)
+	for i := from; i < to; i++ {
+		out.AppendBit(s.Bit(i))
+	}
+	return out
+}
+
+// Clone returns a deep copy of s.
+func (s *BitString) Clone() *BitString {
+	out := New(s.n)
+	out.words = append(out.words, s.words...)
+	out.n = s.n
+	return out
+}
+
+// Uint decodes the width bits starting at offset as an unsigned integer
+// (least significant bit first, matching AppendUint).
+func (s *BitString) Uint(offset, width int) uint64 {
+	if width < 0 || width > 64 || offset < 0 || offset+width > s.n {
+		panic(fmt.Sprintf("bitstring: bad field (off=%d,w=%d) of %d", offset, width, s.n))
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		if s.Bit(offset + i) {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Bits returns the bits as a boolean slice.
+func (s *BitString) Bits() []bool {
+	out := make([]bool, s.n)
+	for i := range out {
+		out[i] = s.Bit(i)
+	}
+	return out
+}
+
+// Equal reports whether s and t hold identical bit sequences.
+func (s *BitString) Equal(t *BitString) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.Bit(i) != t.Bit(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the bits as a 0/1 string in index order (debugging aid).
+func (s *BitString) String() string {
+	var b strings.Builder
+	b.Grow(s.Len())
+	for i := 0; i < s.Len(); i++ {
+		if s.Bit(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Parse builds a BitString from a 0/1 string (inverse of String).
+func Parse(str string) (*BitString, error) {
+	s := New(len(str))
+	for i := 0; i < len(str); i++ {
+		switch str[i] {
+		case '0':
+			s.AppendBit(false)
+		case '1':
+			s.AppendBit(true)
+		default:
+			return nil, fmt.Errorf("bitstring: invalid character %q at %d", str[i], i)
+		}
+	}
+	return s, nil
+}
+
+// Reader is a consuming cursor over a BitString. It realises the paper's
+// cons(u, i) pointer: Pos reports how many bits have been consumed.
+type Reader struct {
+	s   *BitString
+	pos int
+}
+
+// NewReader returns a reader positioned at bit 0 of s.
+func NewReader(s *BitString) *Reader { return &Reader{s: s} }
+
+// Pos returns the number of bits consumed so far.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.s.Len() - r.pos }
+
+// Seek positions the cursor at absolute bit offset pos.
+func (r *Reader) Seek(pos int) {
+	if pos < 0 || pos > r.s.Len() {
+		panic(fmt.Sprintf("bitstring: seek %d out of range [0,%d]", pos, r.s.Len()))
+	}
+	r.pos = pos
+}
+
+// ReadBit consumes and returns one bit.
+func (r *Reader) ReadBit() bool {
+	b := r.s.Bit(r.pos)
+	r.pos++
+	return b
+}
+
+// ReadUint consumes width bits and decodes them as AppendUint encoded them.
+func (r *Reader) ReadUint(width int) uint64 {
+	v := r.s.Uint(r.pos, width)
+	r.pos += width
+	return v
+}
+
+// ReadBits consumes k bits and returns them as a BitString.
+func (r *Reader) ReadBits(k int) *BitString {
+	out := r.s.Slice(r.pos, r.pos+k)
+	r.pos += k
+	return out
+}
+
+// WidthFor returns the minimum number of bits needed to represent every
+// value in [0, v], i.e. ⌈log2(v+1)⌉ with WidthFor(0) = 0... corrected to 1
+// so that a value always occupies at least one bit when encoded.
+func WidthFor(v uint64) int {
+	w := 1
+	for v >= 1<<uint(w) && w < 64 {
+		w++
+	}
+	return w
+}
+
+// Chunks encodes a sequence of non-empty chunks into the self-delimiting
+// bitmap format of the Theorem 2 scheme: the result is bitmap‖payload where
+// the payload is the concatenation of the chunks and bitmap bit k is 1 iff
+// payload bit k is the last bit of a chunk. The encoding is exactly twice
+// the payload size, matching the paper's "this doubles the size of the
+// advices". Decoding splits the string in half (payload length = total/2).
+func Chunks(chunks []*BitString) *BitString {
+	var payload, bitmap BitString
+	for _, c := range chunks {
+		if c.Len() == 0 {
+			panic("bitstring: empty chunk")
+		}
+		for i := 0; i < c.Len(); i++ {
+			payload.AppendBit(c.Bit(i))
+			bitmap.AppendBit(i == c.Len()-1)
+		}
+	}
+	out := New(2 * payload.Len())
+	out.Append(&bitmap)
+	out.Append(&payload)
+	return out
+}
+
+// SplitChunks decodes a string produced by Chunks.
+func SplitChunks(s *BitString) ([]*BitString, error) {
+	if s.Len()%2 != 0 {
+		return nil, fmt.Errorf("bitstring: chunked string has odd length %d", s.Len())
+	}
+	half := s.Len() / 2
+	bitmap, payload := s.Slice(0, half), s.Slice(half, s.Len())
+	var chunks []*BitString
+	start := 0
+	for i := 0; i < half; i++ {
+		if bitmap.Bit(i) {
+			chunks = append(chunks, payload.Slice(start, i+1))
+			start = i + 1
+		}
+	}
+	if start != half {
+		return nil, fmt.Errorf("bitstring: trailing unterminated chunk of %d bits", half-start)
+	}
+	return chunks, nil
+}

@@ -1,0 +1,320 @@
+package bitstring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var s BitString
+	if s.Len() != 0 {
+		t.Fatalf("zero value Len = %d, want 0", s.Len())
+	}
+	if got := s.String(); got != "" {
+		t.Fatalf("zero value String = %q, want empty", got)
+	}
+}
+
+func TestAppendAndBit(t *testing.T) {
+	s := New(0)
+	pattern := []bool{true, false, false, true, true, true, false}
+	for _, b := range pattern {
+		s.AppendBit(b)
+	}
+	if s.Len() != len(pattern) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(pattern))
+	}
+	for i, want := range pattern {
+		if got := s.Bit(i); got != want {
+			t.Errorf("Bit(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAppendAcrossWordBoundary(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 200; i++ {
+		s.AppendBit(i%3 == 0)
+	}
+	for i := 0; i < 200; i++ {
+		if got, want := s.Bit(i), i%3 == 0; got != want {
+			t.Fatalf("Bit(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	cases := []struct {
+		v     uint64
+		width int
+	}{
+		{0, 1}, {1, 1}, {5, 3}, {5, 10}, {1023, 10}, {1 << 40, 41}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		s := New(0)
+		s.AppendUint(c.v, c.width)
+		if s.Len() != c.width {
+			t.Errorf("AppendUint(%d,%d): Len = %d", c.v, c.width, s.Len())
+		}
+		if got := s.Uint(0, c.width); got != c.v {
+			t.Errorf("Uint round trip (%d,%d) = %d", c.v, c.width, got)
+		}
+	}
+}
+
+func TestAppendUintPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for value that does not fit")
+		}
+	}()
+	New(0).AppendUint(4, 2)
+}
+
+func TestBitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0).Bit(0)
+}
+
+func TestSliceAndAppend(t *testing.T) {
+	s, err := Parse("1101001110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := s.Slice(2, 7)
+	if got := mid.String(); got != "01001" {
+		t.Fatalf("Slice = %q, want 01001", got)
+	}
+	joined := New(0)
+	joined.Append(s.Slice(0, 2))
+	joined.Append(mid)
+	joined.Append(s.Slice(7, 10))
+	if !joined.Equal(s) {
+		t.Fatalf("re-joined %q != original %q", joined, s)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s, _ := Parse("1010")
+	c := s.Clone()
+	c.AppendBit(true)
+	if s.Len() != 4 || c.Len() != 5 {
+		t.Fatalf("clone not independent: s=%d c=%d", s.Len(), c.Len())
+	}
+	if !s.Equal(s.Clone()) {
+		t.Fatal("clone not equal to original")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("10x1"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestReader(t *testing.T) {
+	s := New(0)
+	s.AppendUint(13, 4) // 1011 LSB-first
+	s.AppendBit(true)
+	s.AppendUint(300, 9)
+	r := NewReader(s)
+	if got := r.ReadUint(4); got != 13 {
+		t.Fatalf("ReadUint(4) = %d, want 13", got)
+	}
+	if !r.ReadBit() {
+		t.Fatal("ReadBit = false, want true")
+	}
+	if got := r.ReadUint(9); got != 300 {
+		t.Fatalf("ReadUint(9) = %d, want 300", got)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+	r.Seek(4)
+	if r.Pos() != 4 {
+		t.Fatalf("Pos after Seek = %d", r.Pos())
+	}
+	if !r.ReadBit() {
+		t.Fatal("bit at 4 should be true")
+	}
+}
+
+func TestReadBits(t *testing.T) {
+	s, _ := Parse("110010")
+	r := NewReader(s)
+	a := r.ReadBits(3)
+	b := r.ReadBits(3)
+	if a.String() != "110" || b.String() != "010" {
+		t.Fatalf("ReadBits = %q,%q", a, b)
+	}
+}
+
+func TestWidthFor(t *testing.T) {
+	cases := map[uint64]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 255: 8, 256: 9}
+	for v, want := range cases {
+		if got := WidthFor(v); got != want {
+			t.Errorf("WidthFor(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestChunksRoundTrip(t *testing.T) {
+	a, _ := Parse("101")
+	b, _ := Parse("1")
+	c, _ := Parse("001101")
+	enc := Chunks([]*BitString{a, b, c})
+	if enc.Len() != 2*(3+1+6) {
+		t.Fatalf("encoded length %d, want %d (exactly double the payload)", enc.Len(), 2*(3+1+6))
+	}
+	dec, err := SplitChunks(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 3 || !dec[0].Equal(a) || !dec[1].Equal(b) || !dec[2].Equal(c) {
+		t.Fatalf("decoded %v", dec)
+	}
+}
+
+func TestChunksEmptyList(t *testing.T) {
+	enc := Chunks(nil)
+	if enc.Len() != 0 {
+		t.Fatalf("empty chunk list should encode to empty string, got %d bits", enc.Len())
+	}
+	dec, err := SplitChunks(enc)
+	if err != nil || len(dec) != 0 {
+		t.Fatalf("decode empty: %v %v", dec, err)
+	}
+}
+
+func TestSplitChunksErrors(t *testing.T) {
+	odd, _ := Parse("101")
+	if _, err := SplitChunks(odd); err == nil {
+		t.Fatal("expected error on odd length")
+	}
+	// Bitmap with no terminator for the trailing chunk: bitmap=00 payload=11.
+	bad, _ := Parse("0011")
+	if _, err := SplitChunks(bad); err == nil {
+		t.Fatal("expected error on unterminated chunk")
+	}
+}
+
+// Property: String/Parse round trip is the identity.
+func TestQuickParseRoundTrip(t *testing.T) {
+	f := func(bits []bool) bool {
+		s := FromBits(bits)
+		back, err := Parse(s.String())
+		return err == nil && back.Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: appending two strings concatenates their bits.
+func TestQuickAppendConcat(t *testing.T) {
+	f := func(a, b []bool) bool {
+		s := FromBits(a)
+		s.Append(FromBits(b))
+		if s.Len() != len(a)+len(b) {
+			return false
+		}
+		for i, want := range a {
+			if s.Bit(i) != want {
+				return false
+			}
+		}
+		for i, want := range b {
+			if s.Bit(len(a)+i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AppendUint/ReadUint round-trips for any value and sufficient width.
+func TestQuickUintRoundTrip(t *testing.T) {
+	f := func(v uint64, pre []bool) bool {
+		w := WidthFor(v)
+		s := FromBits(pre)
+		s.AppendUint(v, w)
+		r := NewReader(s)
+		r.Seek(len(pre))
+		return r.ReadUint(w) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: chunk encode/decode is the identity on non-empty chunk lists.
+func TestQuickChunksRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		k := rng.Intn(6)
+		chunks := make([]*BitString, k)
+		for i := range chunks {
+			c := New(0)
+			for j := 0; j <= rng.Intn(9); j++ {
+				c.AppendBit(rng.Intn(2) == 0)
+			}
+			chunks[i] = c
+		}
+		dec, err := SplitChunks(Chunks(chunks))
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if len(dec) != k {
+			t.Fatalf("iter %d: got %d chunks, want %d", iter, len(dec), k)
+		}
+		for i := range chunks {
+			if !dec[i].Equal(chunks[i]) {
+				t.Fatalf("iter %d chunk %d: %q != %q", iter, i, dec[i], chunks[i])
+			}
+		}
+	}
+}
+
+// Property: WidthFor(v) bits always suffice and WidthFor(v)-1 bits never do
+// (for v needing more than one bit).
+func TestQuickWidthForTight(t *testing.T) {
+	f := func(v uint64) bool {
+		w := WidthFor(v)
+		if w < 64 && v>>uint(w) != 0 {
+			return false
+		}
+		if v >= 2 && v>>(uint(w)-1) == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppendBit(b *testing.B) {
+	s := New(b.N)
+	for i := 0; i < b.N; i++ {
+		s.AppendBit(i&1 == 0)
+	}
+}
+
+func BenchmarkUintField(b *testing.B) {
+	s := New(64 * 100)
+	for i := 0; i < 100; i++ {
+		s.AppendUint(uint64(i)*2654435761, 64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint((i%100)*64, 64)
+	}
+}

@@ -1,0 +1,396 @@
+// Package boruvka implements the deterministic Borůvka variant of §2.2 of
+// Fraigniaud, Korman and Lebhar (SPAA 2007), which underlies both of the
+// paper's advising schemes.
+//
+// The construction proceeds in phases. Before phase 1 every node is a
+// singleton fragment. At phase i only fragments F with |F| < 2^i are
+// *active*; every active fragment selects its minimum outgoing edge under
+// the graph's intrinsic global order (the paper breaks ties "using the
+// port numbers ... [then] arbitrarily"; the intrinsic order makes the
+// choice canonical and provably acyclic), and all fragments connected by
+// selected edges merge. Lemma 1 of the paper: after phase i every fragment
+// has at least 2^i nodes, so a fragment active at phase i satisfies
+// 2^(i-1) <= |F| < 2^i and at most n/2^(i-1) fragments are active.
+//
+// A Decomposition records, for every phase, the fragment partition, each
+// fragment's root (its node closest to the chosen global root in the final
+// tree T), its level (the parity of its depth in the "tree of fragments"
+// T_i), its selection (chooser node, selected edge, up/down orientation),
+// and the BFS ordering of its fragment tree T_F. These are exactly the
+// quantities the paper's oracles encode into advice.
+package boruvka
+
+import (
+	"fmt"
+	"sort"
+
+	"mstadvice/internal/graph"
+	"mstadvice/internal/mst"
+	"mstadvice/internal/unionfind"
+)
+
+// FragID identifies a fragment within one phase (dense, 0-based, ordered
+// by the fragment's smallest node index).
+type FragID int
+
+// Selection describes the edge an active fragment selected during a phase.
+type Selection struct {
+	Chooser graph.NodeID // the fragment endpoint of the selected edge
+	Edge    graph.EdgeID
+	Up      bool // true iff the edge leads from the chooser towards the global root in T
+}
+
+// Fragment is the state of one fragment at the start of a phase.
+type Fragment struct {
+	ID     FragID
+	Nodes  []graph.NodeID // ascending node index
+	Root   graph.NodeID   // r_F: the fragment node closest to the global root in T
+	Level  int            // parity (0 or 1) of the depth of x_F in the rooted tree of fragments T_i
+	Active bool
+	Sel    *Selection     // nil for passive fragments (and for the lone final fragment)
+	BFS    []graph.NodeID // BFS order of T_F from Root; children visited by (weight, port at parent)
+}
+
+// Size returns the number of nodes in the fragment.
+func (f *Fragment) Size() int { return len(f.Nodes) }
+
+// Phase is the state of the construction at the start of phase Index plus
+// the selections made during it.
+type Phase struct {
+	Index     int // i, starting at 1
+	Fragments []Fragment
+	FragOf    []FragID // node -> fragment holding it at the start of this phase
+}
+
+// ByNode returns the fragment containing u at the start of the phase.
+func (p *Phase) ByNode(u graph.NodeID) *Fragment { return &p.Fragments[p.FragOf[u]] }
+
+// ActiveCount returns the number of active fragments in the phase.
+func (p *Phase) ActiveCount() int {
+	c := 0
+	for i := range p.Fragments {
+		if p.Fragments[i].Active {
+			c++
+		}
+	}
+	return c
+}
+
+// Decomposition is the full record of a run of the Borůvka variant.
+type Decomposition struct {
+	G    *graph.Graph
+	Root graph.NodeID
+
+	// Phases[i-1] describes phase i. The last phase is the one whose merges
+	// produced a single fragment; phases with no active fragments (possible
+	// when early merges overshoot) appear with no selections.
+	Phases []Phase
+
+	// Final is the single spanning fragment reached after the last phase,
+	// with its BFS order (used by the final stage of the Theorem 3 scheme).
+	Final Fragment
+
+	// TreeEdges is the unique MST under the global order, ascending.
+	TreeEdges []graph.EdgeID
+	// ParentPort[u] is the port at u of its parent edge in T rooted at
+	// Root; -1 for the root itself.
+	ParentPort []int
+	// ParentEdge[u] is the corresponding edge (-1 for the root).
+	ParentEdge []graph.EdgeID
+	// SelPhase[e] is the phase (1-based) at which tree edge e was selected,
+	// 0 for non-tree edges.
+	SelPhase []int
+}
+
+// NumPhases returns the number of phases executed.
+func (d *Decomposition) NumPhases() int { return len(d.Phases) }
+
+// FragmentsAtStart returns the fragment state at the start of phase i
+// (1-based). i may be NumPhases()+1, which yields the final single
+// fragment.
+func (d *Decomposition) FragmentsAtStart(i int) []Fragment {
+	if i >= 1 && i <= len(d.Phases) {
+		return d.Phases[i-1].Fragments
+	}
+	if i == len(d.Phases)+1 {
+		return []Fragment{d.Final}
+	}
+	panic(fmt.Sprintf("boruvka: phase %d out of range [1,%d]", i, len(d.Phases)+1))
+}
+
+// Decompose runs the variant on a connected graph and records every phase.
+func Decompose(g *graph.Graph, root graph.NodeID) (*Decomposition, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("boruvka: empty graph")
+	}
+	if int(root) < 0 || int(root) >= n {
+		return nil, fmt.Errorf("boruvka: root %d out of range", root)
+	}
+
+	// ---- Pass 1: simulate the phases, recording partitions and selections.
+	dsu := unionfind.New(n)
+	type rawPhase struct {
+		fragOf     []FragID         // node -> fragment at phase start
+		members    [][]graph.NodeID // fragment -> nodes
+		active     []bool
+		selEdge    []graph.EdgeID // fragment -> selected edge (-1 if none)
+		selChooser []graph.NodeID
+	}
+	var raws []rawPhase
+	var treeEdges []graph.EdgeID
+	selPhase := make([]int, g.M())
+
+	snapshot := func() ([]FragID, [][]graph.NodeID) {
+		groups := dsu.Groups()
+		fragOf := make([]FragID, n)
+		members := make([][]graph.NodeID, len(groups))
+		for fi, grp := range groups {
+			members[fi] = make([]graph.NodeID, len(grp))
+			for j, u := range grp {
+				members[fi][j] = graph.NodeID(u)
+				fragOf[u] = FragID(fi)
+			}
+		}
+		return fragOf, members
+	}
+
+	for i := 1; dsu.Sets() > 1; i++ {
+		if i > n+1 {
+			return nil, fmt.Errorf("boruvka: phase bound exceeded (internal error)")
+		}
+		fragOf, members := snapshot()
+		numFrags := len(members)
+		active := make([]bool, numFrags)
+		limit := 1 << uint(min(i, 62))
+		for fi := range members {
+			active[fi] = len(members[fi]) < limit
+		}
+		selEdge := make([]graph.EdgeID, numFrags)
+		selChooser := make([]graph.NodeID, numFrags)
+		for fi := range selEdge {
+			selEdge[fi] = -1
+			selChooser[fi] = -1
+		}
+		// Minimum outgoing edge per active fragment under the global order.
+		for ei := 0; ei < g.M(); ei++ {
+			e := graph.EdgeID(ei)
+			rec := g.Edge(e)
+			fu, fv := fragOf[rec.U], fragOf[rec.V]
+			if fu == fv {
+				continue
+			}
+			if active[fu] && (selEdge[fu] == -1 || g.EdgeLess(e, selEdge[fu])) {
+				selEdge[fu] = e
+				selChooser[fu] = rec.U
+			}
+			if active[fv] && (selEdge[fv] == -1 || g.EdgeLess(e, selEdge[fv])) {
+				selEdge[fv] = e
+				selChooser[fv] = rec.V
+			}
+		}
+		raws = append(raws, rawPhase{fragOf, members, active, selEdge, selChooser})
+		// Merge. Selected edges are acyclic under a strict total order, so
+		// every union either merges or repeats an edge selected from both
+		// sides.
+		for fi := 0; fi < numFrags; fi++ {
+			e := selEdge[fi]
+			if e == -1 {
+				continue
+			}
+			rec := g.Edge(e)
+			if dsu.Union(int(rec.U), int(rec.V)) {
+				treeEdges = append(treeEdges, e)
+				selPhase[e] = i
+			} else if selPhase[e] == 0 {
+				// The union failed on an edge not previously selected: two
+				// fragments merged through other selections this phase and
+				// this edge would close a cycle. The intrinsic total order
+				// rules this out.
+				return nil, fmt.Errorf("boruvka: selected edges formed a cycle (internal error)")
+			}
+		}
+	}
+
+	if len(treeEdges) != n-1 {
+		return nil, fmt.Errorf("boruvka: graph is disconnected (%d tree edges for %d nodes)", len(treeEdges), n)
+	}
+	sort.Slice(treeEdges, func(a, b int) bool { return treeEdges[a] < treeEdges[b] })
+
+	parentPort, err := mst.Root(g, treeEdges, root)
+	if err != nil {
+		return nil, err
+	}
+	parentEdge := make([]graph.EdgeID, n)
+	for u := 0; u < n; u++ {
+		if parentPort[u] == -1 {
+			parentEdge[u] = -1
+		} else {
+			parentEdge[u] = g.HalfAt(graph.NodeID(u), parentPort[u]).Edge
+		}
+	}
+
+	d := &Decomposition{
+		G:          g,
+		Root:       root,
+		TreeEdges:  treeEdges,
+		ParentPort: parentPort,
+		ParentEdge: parentEdge,
+		SelPhase:   selPhase,
+	}
+
+	// ---- Pass 2: enrich every phase with roots, levels, orientations and
+	// BFS orders, all defined relative to the final rooted tree T.
+	inTree := make([]bool, g.M())
+	for _, e := range treeEdges {
+		inTree[e] = true
+	}
+	for i, raw := range raws {
+		ph := Phase{Index: i + 1, FragOf: raw.fragOf}
+		frags := make([]Fragment, len(raw.members))
+		for fi := range raw.members {
+			frags[fi] = Fragment{
+				ID:     FragID(fi),
+				Nodes:  raw.members[fi],
+				Active: raw.active[fi],
+			}
+		}
+		d.annotate(frags, raw.fragOf)
+		for fi := range frags {
+			e := raw.selEdge[fi]
+			if e == -1 {
+				continue
+			}
+			chooser := raw.selChooser[fi]
+			frags[fi].Sel = &Selection{
+				Chooser: chooser,
+				Edge:    e,
+				Up:      parentEdge[chooser] == e,
+			}
+		}
+		ph.Fragments = frags
+		d.Phases = append(d.Phases, ph)
+	}
+
+	// Final single fragment.
+	finalNodes := make([]graph.NodeID, n)
+	for u := range finalNodes {
+		finalNodes[u] = graph.NodeID(u)
+	}
+	finalFragOf := make([]FragID, n)
+	final := []Fragment{{ID: 0, Nodes: finalNodes, Active: false}}
+	d.annotate(final, finalFragOf)
+	d.Final = final[0]
+
+	return d, nil
+}
+
+// annotate fills Root, Level and BFS for every fragment of one phase.
+func (d *Decomposition) annotate(frags []Fragment, fragOf []FragID) {
+	g := d.G
+	// Roots: the unique node whose T-parent edge leaves the fragment (or
+	// the global root).
+	for fi := range frags {
+		frags[fi].Root = -1
+	}
+	for _, u := range allNodes(frags) {
+		pe := d.ParentEdge[u]
+		if pe == -1 || fragOf[g.Other(pe, u)] != fragOf[u] {
+			f := &frags[fragOf[u]]
+			if f.Root != -1 {
+				panic("boruvka: two roots in one fragment (internal error)")
+			}
+			f.Root = u
+		}
+	}
+	// Levels: BFS over the tree of fragments T_i from the fragment holding
+	// the global root.
+	numFrags := len(frags)
+	fadj := make([][]FragID, numFrags)
+	for _, e := range d.TreeEdges {
+		rec := g.Edge(e)
+		fu, fv := fragOf[rec.U], fragOf[rec.V]
+		if fu != fv {
+			fadj[fu] = append(fadj[fu], fv)
+			fadj[fv] = append(fadj[fv], fu)
+		}
+	}
+	rootFrag := fragOf[d.Root]
+	depth := make([]int, numFrags)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[rootFrag] = 0
+	queue := []FragID{rootFrag}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, nb := range fadj[f] {
+			if depth[nb] == -1 {
+				depth[nb] = depth[f] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	for fi := range frags {
+		if depth[fi] == -1 {
+			panic("boruvka: tree of fragments is disconnected (internal error)")
+		}
+		frags[fi].Level = depth[fi] % 2
+	}
+	// BFS orders of the fragment trees T_F, children by (weight, port at
+	// parent).
+	for fi := range frags {
+		frags[fi].BFS = d.fragmentBFS(&frags[fi], fragOf)
+	}
+}
+
+// fragmentBFS returns the BFS order of T_F from the fragment root, where a
+// node's tree children are visited in increasing (edge weight, port at the
+// node) order. This is the paper's "BFS guided by the indexes of the edges
+// in T_F ... lower index first".
+func (d *Decomposition) fragmentBFS(f *Fragment, fragOf []FragID) []graph.NodeID {
+	g := d.G
+	children := make(map[graph.NodeID][]graph.NodeID)
+	for _, u := range f.Nodes {
+		pe := d.ParentEdge[u]
+		if pe == -1 {
+			continue
+		}
+		p := g.Other(pe, u)
+		if fragOf[p] == fragOf[u] {
+			children[p] = append(children[p], u)
+		}
+	}
+	for p := range children {
+		kids := children[p]
+		sort.Slice(kids, func(a, b int) bool {
+			ea, eb := d.ParentEdge[kids[a]], d.ParentEdge[kids[b]]
+			wa, wb := g.Weight(ea), g.Weight(eb)
+			if wa != wb {
+				return wa < wb
+			}
+			return g.PortAt(ea, p) < g.PortAt(eb, p)
+		})
+	}
+	order := make([]graph.NodeID, 0, len(f.Nodes))
+	queue := []graph.NodeID{f.Root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		queue = append(queue, children[u]...)
+	}
+	if len(order) != len(f.Nodes) {
+		panic(fmt.Sprintf("boruvka: fragment BFS visited %d of %d nodes (internal error)", len(order), len(f.Nodes)))
+	}
+	return order
+}
+
+func allNodes(frags []Fragment) []graph.NodeID {
+	var all []graph.NodeID
+	for i := range frags {
+		all = append(all, frags[i].Nodes...)
+	}
+	return all
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"mstadvice/internal/sim"
+)
+
+// adaptiveNode is the pulse-driven variant of the Theorem 3 decoder: an
+// extension beyond the paper. Instead of the fixed worst-case schedule
+// (every phase window padded to 2^(i+1)+2 rounds) it advances through the
+// same stages whenever the network quiesces, using the simulator's
+// idealized synchronizer pulses as global barriers. The advice, the
+// oracle and the per-stage logic are identical to the strict decoder —
+// only the clock differs — so correctness carries over while typical
+// round counts drop well below the schedule (measured in experiment E4b).
+//
+// Stage layout (one pulse per transition):
+//
+//	per phase i = 1..P:   A  announce + convergecast streaming
+//	                      B  root decodes A(F), broadcast + level reports
+//	                      C  chooser selects, adoption crosses the edge
+//	final:                F1 announce + truncated collect streaming
+//	                      F2 roots decode the Width-bit string; all done
+//
+// Empty stages (e.g. phases after the graph has already merged) quiesce
+// immediately and cost a single round — exactly the adaptivity the strict
+// schedule gives away.
+type adaptiveNode struct {
+	node
+	lastPulse  int
+	stageRound int
+}
+
+func newAdaptiveNode(view *sim.NodeView, cap int) *adaptiveNode {
+	return &adaptiveNode{node: *newNode(view, cap)}
+}
+
+// stageOf maps a pulse count to (phase, stage). Phases occupy three
+// pulses each; the final window takes the last two. Stage -1 flags pulses
+// past the protocol (all nodes are done by then).
+func (a *adaptiveNode) stageOf() (phase, stage int) {
+	p := a.lastPulse
+	if p < 1 {
+		return 0, -1
+	}
+	if p <= 3*a.sched.P {
+		return (p-1)/3 + 1, (p - 1) % 3
+	}
+	f := p - 3*a.sched.P
+	if f <= 2 {
+		return a.sched.P + 1, 2 + f // 3 = F1, 4 = F2
+	}
+	return a.sched.P + 1, -1
+}
+
+const (
+	stageConverge = 0
+	stageBcast    = 1
+	stageChoose   = 2
+	stageFinalCol = 3
+	stageFinalDec = 4
+)
+
+func (a *adaptiveNode) Start(ctx *sim.Ctx, view *sim.NodeView) []sim.Send {
+	return a.node.Start(ctx, view)
+}
+
+func (a *adaptiveNode) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Received) []sim.Send {
+	if a.done {
+		return nil
+	}
+	fresh := false
+	if ctx.Pulse != a.lastPulse {
+		if ctx.Pulse != a.lastPulse+1 {
+			panic(fmt.Sprintf("core: adaptive decoder missed a pulse (%d -> %d)", a.lastPulse, ctx.Pulse))
+		}
+		a.lastPulse = ctx.Pulse
+		a.stageRound = 0
+		fresh = true
+	} else if a.lastPulse > 0 {
+		a.stageRound++
+	}
+	var sends []sim.Send
+	for _, rcv := range inbox {
+		sends = append(sends, a.receive(view, rcv)...)
+	}
+	phase, stage := a.stageOf()
+	switch stage {
+	case stageConverge:
+		quota := 1 << uint(phase)
+		switch {
+		case fresh:
+			sends = append(sends, a.windowStart(view)...)
+		case a.stageRound == 1:
+			a.beginPhaseStream(view)
+			sends = append(sends, a.streamRecs(quota, view)...)
+		default:
+			sends = append(sends, a.streamRecs(quota, view)...)
+		}
+
+	case stageBcast:
+		if fresh {
+			// A globally silent convergecast stage (all fragments
+			// singletons, nothing announced) advances on back-to-back
+			// pulses before stageRound 1 ever ran; build the trivial
+			// one-node subtree now.
+			if a.sub == nil {
+				a.beginPhaseStream(view)
+			}
+			if a.qualifiesActive(phase, view) {
+				sends = append(sends, a.decodeAndBroadcast(phase, view)...)
+			}
+		}
+
+	case stageChoose:
+		if fresh && a.chooser {
+			sends = append(sends, a.choose(view)...)
+		}
+
+	case stageFinalCol:
+		width := a.sched.Width
+		switch {
+		case fresh:
+			sends = append(sends, a.windowStart(view)...)
+		case a.stageRound == 1:
+			a.beginFinalStream(view)
+			sends = append(sends, a.streamFinal(width, view)...)
+		default:
+			sends = append(sends, a.streamFinal(width, view)...)
+		}
+
+	case stageFinalDec:
+		if fresh {
+			if a.sub == nil {
+				a.beginFinalStream(view) // silent collect stage (see stageBcast)
+			}
+			if a.parentPort == -1 {
+				a.decodeFinal(view)
+			}
+			a.done = true
+		}
+	}
+	return sends
+}
+
+func (a *adaptiveNode) Output() (int, bool) { return a.parentPort, a.done }

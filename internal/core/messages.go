@@ -1,0 +1,109 @@
+package core
+
+import (
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/graph"
+	"mstadvice/internal/sim"
+)
+
+// idMsg is the setup-round introduction: the sender's identifier and the
+// far-side port of the connecting edge (needed to evaluate the intrinsic
+// global edge order locally).
+type idMsg struct {
+	ID   int64
+	Port int
+}
+
+func (idMsg) SizeBits(cm sim.CostModel) int { return cm.IDBits + cm.PortBits }
+
+// announceMsg tells the receiver "you are my parent in the current
+// fragment tree"; sent at slot 0 of every window so parents learn their
+// children afresh after merges.
+type announceMsg struct{}
+
+func (announceMsg) SizeBits(sim.CostModel) int { return 1 }
+
+// rec is one node's convergecast record during a phase window. The node
+// itself fills ID, ChildCount, Hop and Bits; its fragment parent fills
+// ParentID, W and PortAtParent when first relaying (it alone knows the
+// connecting edge's local coordinates).
+type rec struct {
+	ID           int64
+	ParentID     int64
+	W            graph.Weight
+	PortAtParent int
+	ChildCount   int
+	Hop          int
+	Bits         *bitstring.BitString // unconsumed packed advice, ≤ Cap bits
+}
+
+func recBits(cm sim.CostModel) int {
+	// id + parent id + weight + port + child count (≈port width) + hop
+	// (≈id width) + ≤Cap advice bits with a 4-bit length.
+	return 3*cm.IDBits + cm.WeightBits + 2*cm.PortBits + DefaultCap + 4
+}
+
+// recMsg batches convergecast records up the fragment tree.
+type recMsg struct {
+	Recs []rec
+}
+
+func (m recMsg) SizeBits(cm sim.CostModel) int { return len(m.Recs) * recBits(cm) }
+
+// consEntry tells one node how many of its streamed bits the root consumed
+// while decoding A(F).
+type consEntry struct {
+	ID    int64
+	Count int
+}
+
+// bcastMsg is the fragment root's phase broadcast: the decoded A(F)
+// content plus the per-node consumption update. It doubles as the sender's
+// level report for the receiving (child) edge.
+type bcastMsg struct {
+	Up        bool
+	Level     int
+	ChooserID int64
+	Cons      []consEntry
+}
+
+func (m bcastMsg) SizeBits(cm sim.CostModel) int {
+	return 2 + cm.IDBits + len(m.Cons)*(cm.IDBits+4)
+}
+
+// levelMsg reports the sender's fragment level (this phase) to a
+// neighbour outside its fragment-tree children.
+type levelMsg struct {
+	Level int
+}
+
+func (levelMsg) SizeBits(sim.CostModel) int { return 2 }
+
+// adoptMsg tells the receiver that the sender is its parent in T (sent
+// across the selected edge when it is "down" from the chooser).
+type adoptMsg struct{}
+
+func (adoptMsg) SizeBits(sim.CostModel) int { return 1 }
+
+// finalRec is one node's record in the final truncated collect: its
+// single final-phase advice bit plus the tree coordinates needed for the
+// BFS ordering at the root.
+type finalRec struct {
+	ID           int64
+	ParentID     int64
+	W            graph.Weight
+	PortAtParent int
+	Hop          int
+	Bit          bool
+}
+
+func finalRecBits(cm sim.CostModel) int {
+	return 3*cm.IDBits + cm.WeightBits + 2*cm.PortBits + 1
+}
+
+// finalRecMsg batches final-collect records.
+type finalRecMsg struct {
+	Recs []finalRec
+}
+
+func (m finalRecMsg) SizeBits(cm sim.CostModel) int { return len(m.Recs) * finalRecBits(cm) }

@@ -1,0 +1,474 @@
+package core
+
+import (
+	"fmt"
+
+	"mstadvice/internal/graph"
+	"mstadvice/internal/localorder"
+	"mstadvice/internal/sim"
+)
+
+// node is the Theorem 3 decoder at one network node. It follows the fixed
+// round schedule (see Schedule): one ID-exchange round, P packed-phase
+// windows, and the final truncated collect. Throughout, parentPort == -1
+// means "currently the root of my fragment tree"; at the end of the
+// schedule it means "root of the MST".
+type node struct {
+	sched Schedule
+
+	// Learned in the setup round.
+	nbrID   []int64
+	nbrPort []int
+
+	// Fragment tree state.
+	parentPort int
+	childPorts map[int]bool
+
+	// Advice cursor: number of packed bits consumed (the packed region is
+	// advice[1:]; bit 0 is the final-stage bit).
+	cons int
+
+	// Per-window state.
+	sub     *subtree
+	sent    int
+	levelOf map[int]int
+	myLevel int
+	haveLvl bool
+	chooser bool
+	chUp    bool
+
+	done bool
+}
+
+func newNode(view *sim.NodeView, cap int) *node {
+	return &node{
+		sched:      NewSchedule(view.N, cap),
+		nbrID:      make([]int64, view.Deg),
+		nbrPort:    make([]int, view.Deg),
+		parentPort: -1,
+		childPorts: make(map[int]bool),
+		levelOf:    make(map[int]int),
+	}
+}
+
+func (n *node) Start(ctx *sim.Ctx, view *sim.NodeView) []sim.Send {
+	if view.N <= 1 {
+		n.done = true
+		return nil
+	}
+	sends := make([]sim.Send, view.Deg)
+	for p := 0; p < view.Deg; p++ {
+		sends[p] = sim.Send{Port: p, Msg: idMsg{ID: view.ID, Port: p}}
+	}
+	return sends
+}
+
+func (n *node) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Received) []sim.Send {
+	if n.done {
+		return nil
+	}
+	var sends []sim.Send
+	for _, rcv := range inbox {
+		sends = append(sends, n.receive(view, rcv)...)
+	}
+	sends = append(sends, n.slotActions(ctx.Round, view)...)
+	if ctx.Round >= n.sched.Total() {
+		n.done = true
+	}
+	return sends
+}
+
+func (n *node) Output() (int, bool) { return n.parentPort, n.done }
+
+// --- inbox handling ---
+
+func (n *node) receive(view *sim.NodeView, rcv sim.Received) []sim.Send {
+	switch m := rcv.Msg.(type) {
+	case idMsg:
+		n.nbrID[rcv.Port] = m.ID
+		n.nbrPort[rcv.Port] = m.Port
+		return nil
+
+	case announceMsg:
+		n.childPorts[rcv.Port] = true
+		return nil
+
+	case recMsg:
+		if n.sub == nil {
+			panic("core: record before window start")
+		}
+		for _, r := range m.Recs {
+			t := &treeNode{
+				id: r.ID, parentID: r.ParentID, w: r.W, portAtParent: r.PortAtParent,
+				childCount: r.ChildCount, hop: r.Hop, bits: r.Bits,
+			}
+			if t.parentID == annotatePending {
+				// Direct child's own record: we alone know the edge data.
+				t.parentID = view.ID
+				t.w = view.PortW[rcv.Port]
+				t.portAtParent = rcv.Port
+			}
+			n.sub.add(t)
+		}
+		return nil
+
+	case bcastMsg:
+		n.levelOf[rcv.Port] = m.Level
+		return n.applyBroadcast(view, m)
+
+	case levelMsg:
+		n.levelOf[rcv.Port] = m.Level
+		return nil
+
+	case adoptMsg:
+		if n.parentPort != -1 && n.parentPort != rcv.Port {
+			panic(fmt.Sprintf("core: adopt on port %d but parent already %d", rcv.Port, n.parentPort))
+		}
+		n.parentPort = rcv.Port
+		return nil
+
+	case finalRecMsg:
+		if n.sub == nil {
+			panic("core: final record before window start")
+		}
+		for _, r := range m.Recs {
+			t := &treeNode{
+				id: r.ID, parentID: r.ParentID, w: r.W, portAtParent: r.PortAtParent,
+				childCount: -1, hop: r.Hop, bit: r.Bit,
+			}
+			if t.parentID == annotatePending {
+				t.parentID = view.ID
+				t.w = view.PortW[rcv.Port]
+				t.portAtParent = rcv.Port
+			}
+			n.sub.add(t)
+		}
+		return nil
+
+	default:
+		panic(fmt.Sprintf("core: unexpected message %T", rcv.Msg))
+	}
+}
+
+// annotatePending marks a record whose parent-side fields are filled by
+// the first relaying node. Identifiers are arbitrary int64s, so a separate
+// in-band value cannot be reserved; instead the sender of its own record
+// uses this constant and the direct parent always overwrites it (records
+// at hop 0 are exactly the unannotated ones).
+const annotatePending int64 = -1 << 62
+
+// applyBroadcast processes A(F): records the fragment level, the chooser
+// identity, and this node's consumption update, then relays down the tree
+// and reports its level on every non-child edge.
+func (n *node) applyBroadcast(view *sim.NodeView, m bcastMsg) []sim.Send {
+	n.myLevel = m.Level
+	n.haveLvl = true
+	if m.ChooserID == view.ID {
+		n.chooser = true
+		n.chUp = m.Up
+	}
+	for _, e := range m.Cons {
+		if e.ID == view.ID {
+			n.cons += e.Count
+			if 1+n.cons > view.Advice.Len() {
+				panic("core: consumption past advice end")
+			}
+		}
+	}
+	var sends []sim.Send
+	for p := 0; p < view.Deg; p++ {
+		if n.childPorts[p] {
+			sends = append(sends, sim.Send{Port: p, Msg: m})
+		} else if p != n.parentPort {
+			sends = append(sends, sim.Send{Port: p, Msg: levelMsg{Level: m.Level}})
+		}
+	}
+	return sends
+}
+
+// --- per-slot actions ---
+
+func (n *node) slotActions(round int, view *sim.NodeView) []sim.Send {
+	kind, phase, slot := n.sched.Locate(round)
+	switch kind {
+	case KindPhase:
+		return n.phaseSlot(phase, slot, view)
+	case KindFinal:
+		return n.finalSlot(slot, view)
+	default:
+		return nil
+	}
+}
+
+func (n *node) phaseSlot(i, slot int, view *sim.NodeView) []sim.Send {
+	quota := 1 << uint(i)
+	switch {
+	case slot == 0:
+		return n.windowStart(view)
+
+	case slot == 1:
+		// Children are known (announces processed this round); create our
+		// own record and begin streaming.
+		n.beginPhaseStream(view)
+		return n.streamRecs(quota, view)
+
+	case slot < ConvergeEnd(i):
+		return n.streamRecs(quota, view)
+
+	case slot == ConvergeEnd(i):
+		if !n.qualifiesActive(i, view) {
+			return nil // non-root, passive fragment, or the spanning one
+		}
+		return n.decodeAndBroadcast(i, view)
+
+	case slot == ChooseSlot(i):
+		if !n.chooser {
+			return nil
+		}
+		return n.choose(view)
+	}
+	return nil
+}
+
+// beginPhaseStream creates this node's own convergecast record once its
+// children are known (one round after the window's announce).
+func (n *node) beginPhaseStream(view *sim.NodeView) {
+	own := &treeNode{
+		id:         view.ID,
+		childCount: len(n.childPorts),
+		bits:       view.Advice.Slice(minInt(1+n.cons, view.Advice.Len()), view.Advice.Len()),
+	}
+	n.sub = newSubtree(own)
+	n.sent = 0
+}
+
+// beginFinalStream is beginPhaseStream for the final collect: the record
+// carries the node's single final-stage advice bit.
+func (n *node) beginFinalStream(view *sim.NodeView) {
+	own := &treeNode{id: view.ID, childCount: -1, bit: view.Advice.Bit(0)}
+	n.sub = newSubtree(own)
+	n.sent = 0
+}
+
+// qualifiesActive reports whether this fragment root collected a complete
+// tree of an active, non-spanning fragment at phase i and should decode.
+func (n *node) qualifiesActive(i int, view *sim.NodeView) bool {
+	if n.parentPort != -1 || n.sub == nil {
+		return false
+	}
+	quota := 1 << uint(i)
+	return n.sub.complete() && n.sub.size() < quota && n.sub.size() < view.N
+}
+
+// windowStart resets per-window state and announces to the parent.
+func (n *node) windowStart(view *sim.NodeView) []sim.Send {
+	n.childPorts = make(map[int]bool)
+	n.levelOf = make(map[int]int)
+	n.haveLvl = false
+	n.chooser = false
+	n.sub = nil
+	n.sent = 0
+	if n.parentPort != -1 {
+		return []sim.Send{{Port: n.parentPort, Msg: announceMsg{}}}
+	}
+	return nil
+}
+
+// streamRecs forwards the unsent part of the subtree's BFS prefix to the
+// fragment parent (roots integrate but do not forward).
+func (n *node) streamRecs(quota int, view *sim.NodeView) []sim.Send {
+	if n.parentPort == -1 || n.sub == nil {
+		return nil
+	}
+	order := n.sub.bfs(quota)
+	if n.sent >= len(order) {
+		return nil
+	}
+	var recs []rec
+	for _, id := range order[n.sent:] {
+		t := n.sub.nodes[id]
+		if t.hop+1 > quota {
+			continue
+		}
+		r := rec{
+			ID: t.id, ParentID: t.parentID, W: t.w, PortAtParent: t.portAtParent,
+			ChildCount: t.childCount, Hop: t.hop + 1, Bits: t.bits,
+		}
+		if t.id == view.ID {
+			r.ParentID = annotatePending // parent fills edge data
+		}
+		recs = append(recs, r)
+	}
+	n.sent = len(order)
+	if len(recs) == 0 {
+		return nil
+	}
+	return []sim.Send{{Port: n.parentPort, Msg: recMsg{Recs: recs}}}
+}
+
+// decodeAndBroadcast runs at the root of an active fragment: reassemble
+// A(F) from the streamed bits in BFS order, compute the per-node
+// consumption update, apply it locally and broadcast.
+func (n *node) decodeAndBroadcast(i int, view *sim.NodeView) []sim.Send {
+	need := i + 2
+	order := n.sub.bfs(0)
+	var bits []bool
+	var cons []consEntry
+	for _, id := range order {
+		t := n.sub.nodes[id]
+		if t.bits == nil || t.bits.Len() == 0 {
+			continue
+		}
+		take := t.bits.Len()
+		if take > need-len(bits) {
+			take = need - len(bits)
+		}
+		for k := 0; k < take; k++ {
+			bits = append(bits, t.bits.Bit(k))
+		}
+		cons = append(cons, consEntry{ID: id, Count: take})
+		if len(bits) == need {
+			break
+		}
+	}
+	if len(bits) < need {
+		panic(fmt.Sprintf("core: fragment stream has %d bits, need %d (oracle/decoder mismatch)", len(bits), need))
+	}
+	up := bits[0]
+	level := 0
+	if bits[1] {
+		level = 1
+	}
+	j := 0
+	for k := 0; k < i; k++ {
+		if bits[2+k] {
+			j |= 1 << uint(k)
+		}
+	}
+	if j >= len(order) {
+		panic(fmt.Sprintf("core: chooser index %d out of range (fragment size %d)", j, len(order)))
+	}
+	m := bcastMsg{Up: up, Level: level, ChooserID: order[j], Cons: cons}
+	return n.applyBroadcast(view, m)
+}
+
+// choose runs at the choosing node: select the minimum-key incident edge
+// whose far endpoint is not known to be in this fragment (children,
+// parent, or a neighbour that reported our own level this phase), then
+// either recognise it as our parent edge (up) or adopt the far endpoint
+// (down).
+func (n *node) choose(view *sim.NodeView) []sim.Send {
+	if !n.haveLvl {
+		panic("core: chooser without a level")
+	}
+	best := -1
+	var bestKey graph.GlobalKey
+	for p := 0; p < view.Deg; p++ {
+		if p == n.parentPort || n.childPorts[p] {
+			continue
+		}
+		if lvl, ok := n.levelOf[p]; ok && lvl == n.myLevel {
+			continue
+		}
+		key := localorder.KeyAt(view.PortW[p], view.ID, p, n.nbrID[p], n.nbrPort[p])
+		if best == -1 || key.Less(bestKey) {
+			best, bestKey = p, key
+		}
+	}
+	if best == -1 {
+		panic("core: chooser found no candidate edge")
+	}
+	if n.chUp {
+		if n.parentPort != -1 {
+			panic("core: up-selection at a non-root chooser")
+		}
+		n.parentPort = best
+		return nil
+	}
+	return []sim.Send{{Port: best, Msg: adoptMsg{}}}
+}
+
+// --- final window ---
+
+func (n *node) finalSlot(slot int, view *sim.NodeView) []sim.Send {
+	width := n.sched.Width
+	switch {
+	case slot == 0:
+		return n.windowStart(view)
+
+	case slot == 1:
+		n.beginFinalStream(view)
+		return n.streamFinal(width, view)
+
+	case slot <= width:
+		return n.streamFinal(width, view)
+
+	case slot == n.sched.FinalDecodeSlot():
+		if n.parentPort == -1 {
+			n.decodeFinal(view)
+		}
+	}
+	return nil
+}
+
+// decodeFinal runs at a final-fragment root: reassemble the Width-bit
+// string from the BFS prefix and resolve it to a parent port (or the
+// all-ones root marker).
+func (n *node) decodeFinal(view *sim.NodeView) {
+	width := n.sched.Width
+	order := n.sub.bfs(width)
+	if len(order) < width {
+		panic(fmt.Sprintf("core: final fragment exposes %d of %d bits", len(order), width))
+	}
+	value := uint64(0)
+	for k := 0; k < width; k++ {
+		if n.sub.nodes[order[k]].bit {
+			value |= 1 << uint(k)
+		}
+	}
+	if value == 1<<uint(width)-1 {
+		return // all-ones marker: this node is the MST root
+	}
+	port, ok := localorder.GlobalRankToPort(view.PortW, view.ID, n.nbrID, n.nbrPort, int(value))
+	if !ok {
+		panic(fmt.Sprintf("core: final rank %d out of range for degree %d", value, view.Deg))
+	}
+	n.parentPort = port
+}
+
+func (n *node) streamFinal(width int, view *sim.NodeView) []sim.Send {
+	if n.parentPort == -1 || n.sub == nil {
+		return nil
+	}
+	order := n.sub.bfs(width)
+	if n.sent >= len(order) {
+		return nil
+	}
+	var recs []finalRec
+	for _, id := range order[n.sent:] {
+		t := n.sub.nodes[id]
+		if t.hop+1 > width {
+			continue
+		}
+		r := finalRec{
+			ID: t.id, ParentID: t.parentID, W: t.w, PortAtParent: t.portAtParent,
+			Hop: t.hop + 1, Bit: t.bit,
+		}
+		if t.id == view.ID {
+			r.ParentID = annotatePending
+		}
+		recs = append(recs, r)
+	}
+	n.sent = len(order)
+	if len(recs) == 0 {
+		return nil
+	}
+	return []sim.Send{{Port: n.parentPort, Msg: finalRecMsg{Recs: recs}}}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

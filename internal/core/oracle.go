@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/boruvka"
+	"mstadvice/internal/graph"
+)
+
+// Oracle state for building the Theorem 3 advice. The advice of node u is
+// laid out as
+//
+//	advice(u) = [ final bit ] ‖ [ packed phase bits, at most Cap ]
+//
+// so the maximum advice size is m = Cap + 1 = 12 bits. The final bit comes
+// first because its position must be locally computable: the packed region
+// is everything after bit 0.
+//
+// For every phase i ≤ P and every active fragment F that selected an edge,
+// the fragment string A(F) = b_up ‖ b_level ‖ bin(j) (i+2 bits, where j is
+// the 0-based BFS index of the choosing node) is streamed greedily into
+// the fragment's nodes in BFS order, filling each node up to Cap bits
+// before moving to the next — exactly the paper's assignment loop, whose
+// Claim 1 guarantees the capacity Σ(Cap − used) ≥ i+2. For the final
+// stage, fragment F's string is the Width-bit rank of the root's parent
+// edge in its global order (all-ones marks the global root), one bit per
+// BFS node.
+type adviceBuilder struct {
+	g     *graph.Graph
+	d     *boruvka.Decomposition
+	sched Schedule
+	used  []int
+	packs []*bitstring.BitString
+	final []bool
+}
+
+// BuildAdvice computes the Theorem 3 advice for g rooted at root. cap is
+// the per-node packed budget (the paper's c = 11); smaller values are
+// allowed for the ablation experiment and fail with a descriptive error
+// when the packing no longer fits.
+func BuildAdvice(g *graph.Graph, root graph.NodeID, cap int) ([]*bitstring.BitString, error) {
+	n := g.N()
+	b := &adviceBuilder{
+		g:     g,
+		sched: NewSchedule(n, cap),
+		used:  make([]int, n),
+		packs: make([]*bitstring.BitString, n),
+		final: make([]bool, n),
+	}
+	for u := range b.packs {
+		b.packs[u] = bitstring.New(cap)
+	}
+	if n > 1 {
+		d, err := boruvka.Decompose(g, root)
+		if err != nil {
+			return nil, err
+		}
+		b.d = d
+		for i := 1; i <= b.sched.P && i <= d.NumPhases(); i++ {
+			if err := b.packPhase(i); err != nil {
+				return nil, err
+			}
+		}
+		if err := b.assignFinal(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*bitstring.BitString, n)
+	for u := range out {
+		s := bitstring.New(1 + b.packs[u].Len())
+		s.AppendBit(b.final[u])
+		s.Append(b.packs[u])
+		if s.Len() > cap+1 {
+			return nil, fmt.Errorf("core: node %d advice %d bits exceeds m=%d (internal error)", u, s.Len(), cap+1)
+		}
+		out[u] = s
+	}
+	return out, nil
+}
+
+// packPhase streams A(F) for every selecting fragment of phase i.
+func (b *adviceBuilder) packPhase(i int) error {
+	ph := &b.d.Phases[i-1]
+	for fi := range ph.Fragments {
+		f := &ph.Fragments[fi]
+		if f.Sel == nil {
+			continue
+		}
+		j := -1
+		for k, u := range f.BFS {
+			if u == f.Sel.Chooser {
+				j = k
+				break
+			}
+		}
+		if j < 0 {
+			return fmt.Errorf("core: chooser not in fragment BFS (internal error)")
+		}
+		if j >= 1<<uint(i) {
+			return fmt.Errorf("core: BFS index %d of chooser needs more than %d bits (internal error)", j, i)
+		}
+		a := bitstring.New(i + 2)
+		a.AppendBit(f.Sel.Up)
+		a.AppendBit(f.Level == 1)
+		a.AppendUint(uint64(j), i)
+
+		// Greedy assignment in BFS order (the paper's loop): fill the
+		// earliest node with spare capacity.
+		pos := 0
+		for _, u := range f.BFS {
+			free := b.sched.Cap - b.used[u]
+			if free <= 0 {
+				continue
+			}
+			take := a.Len() - pos
+			if take > free {
+				take = free
+			}
+			b.packs[u].Append(a.Slice(pos, pos+take))
+			b.used[u] += take
+			pos += take
+			if pos == a.Len() {
+				break
+			}
+		}
+		if pos != a.Len() {
+			return fmt.Errorf("core: phase %d fragment of size %d cannot hold %d advice bits under cap %d (Claim 1 violated)",
+				i, f.Size(), a.Len(), b.sched.Cap)
+		}
+	}
+	return nil
+}
+
+// assignFinal distributes the Width-bit final string of every fragment
+// remaining after phase P, one bit per BFS node.
+func (b *adviceBuilder) assignFinal() error {
+	lastPacked := b.sched.P
+	if b.d.NumPhases() < lastPacked {
+		lastPacked = b.d.NumPhases()
+	}
+	frags := b.d.FragmentsAtStart(lastPacked + 1)
+	for fi := range frags {
+		f := &frags[fi]
+		var value uint64
+		if f.Root == b.d.Root {
+			value = 1<<uint(b.sched.Width) - 1 // all-ones: "I am the root"
+		} else {
+			port := b.d.ParentPort[f.Root]
+			rank := b.g.GlobalRankAt(f.Root, port)
+			value = uint64(rank)
+			if value >= 1<<uint(b.sched.Width)-1 {
+				return fmt.Errorf("core: parent rank %d collides with the root marker (internal error)", rank)
+			}
+		}
+		if f.Size() < b.sched.Width {
+			return fmt.Errorf("core: final fragment of size %d cannot hold %d bits (internal error)", f.Size(), b.sched.Width)
+		}
+		a := bitstring.New(b.sched.Width)
+		a.AppendUint(value, b.sched.Width)
+		for k := 0; k < b.sched.Width; k++ {
+			b.final[f.BFS[k]] = a.Bit(k)
+		}
+	}
+	return nil
+}

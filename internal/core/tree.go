@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sort"
+
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/graph"
+)
+
+// treeNode is one node of a partially known fragment tree, assembled from
+// convergecast records. childCount is -1 when unknown (final collect).
+type treeNode struct {
+	id           int64
+	parentID     int64
+	w            graph.Weight
+	portAtParent int
+	childCount   int
+	hop          int
+	bits         *bitstring.BitString
+	bit          bool
+}
+
+// subtree incrementally assembles the fragment tree visible below one
+// node, and produces its BFS order (children sorted by (weight, port at
+// parent) — the paper's "lower index first" rule).
+type subtree struct {
+	rootID int64
+	nodes  map[int64]*treeNode
+	kids   map[int64][]int64
+}
+
+func newSubtree(root *treeNode) *subtree {
+	s := &subtree{
+		rootID: root.id,
+		nodes:  map[int64]*treeNode{root.id: root},
+		kids:   map[int64][]int64{},
+	}
+	return s
+}
+
+// add inserts a record; it returns false for duplicates.
+func (s *subtree) add(n *treeNode) bool {
+	if _, ok := s.nodes[n.id]; ok {
+		return false
+	}
+	s.nodes[n.id] = n
+	s.kids[n.parentID] = append(s.kids[n.parentID], n.id)
+	return true
+}
+
+func (s *subtree) size() int { return len(s.nodes) }
+
+// sortedKids returns the children of id ordered by (weight, port at
+// parent) of their connecting edges.
+func (s *subtree) sortedKids(id int64) []int64 {
+	kids := s.kids[id]
+	sort.Slice(kids, func(a, b int) bool {
+		na, nb := s.nodes[kids[a]], s.nodes[kids[b]]
+		if na.w != nb.w {
+			return na.w < nb.w
+		}
+		return na.portAtParent < nb.portAtParent
+	})
+	return kids
+}
+
+// bfs returns the first limit entries of the subtree's BFS order
+// (limit <= 0 means no limit). The order only ever grows at the end as
+// records arrive, because records arrive in depth order.
+func (s *subtree) bfs(limit int) []int64 {
+	order := make([]int64, 0, s.size())
+	queue := []int64{s.rootID}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		if limit > 0 && len(order) == limit {
+			return order
+		}
+		queue = append(queue, s.sortedKids(id)...)
+	}
+	return order
+}
+
+// complete reports whether every known node's announced child count is
+// satisfied, i.e. the whole fragment tree has been received. Only
+// meaningful when records carry child counts.
+func (s *subtree) complete() bool {
+	for id, n := range s.nodes {
+		if n.childCount < 0 || n.childCount != len(s.kids[id]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,46 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, with node IDs as
+// labels and edge weights as edge labels. An optional highlight set (for
+// example, an MST) is drawn bold. Intended for debugging and for
+// illustrating small experiment instances.
+func (g *Graph) WriteDOT(w io.Writer, name string, highlight []EdgeID) error {
+	if name == "" {
+		name = "G"
+	}
+	marked := make(map[EdgeID]bool, len(highlight))
+	for _, e := range highlight {
+		marked[e] = true
+	}
+	if _, err := fmt.Fprintf(w, "graph %s {\n", name); err != nil {
+		return err
+	}
+	for u := 0; u < g.N(); u++ {
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%d\"];\n", u, g.ID(NodeID(u))); err != nil {
+			return err
+		}
+	}
+	edges := make([]EdgeID, g.M())
+	for i := range edges {
+		edges[i] = EdgeID(i)
+	}
+	sort.Slice(edges, func(a, b int) bool { return edges[a] < edges[b] })
+	for _, e := range edges {
+		rec := g.Edge(e)
+		style := ""
+		if marked[e] {
+			style = ", style=bold, penwidth=2"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -- n%d [label=\"%d\"%s];\n", rec.U, rec.V, rec.W, style); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

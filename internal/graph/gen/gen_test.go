@@ -1,0 +1,331 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"mstadvice/internal/graph"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func checkGraph(t *testing.T, g *graph.Graph, wantN int, wantConnected bool) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if wantN > 0 && g.N() != wantN {
+		t.Fatalf("N = %d, want %d", g.N(), wantN)
+	}
+	if wantConnected && !g.Connected() {
+		t.Fatal("graph not connected")
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := Path(10, rng(1), Options{})
+	checkGraph(t, g, 10, true)
+	if g.M() != 9 || g.MaxDegree() != 2 {
+		t.Fatalf("M=%d maxdeg=%d", g.M(), g.MaxDegree())
+	}
+	if g.Diameter() != 9 {
+		t.Fatalf("path diameter = %d", g.Diameter())
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring(12, rng(2), Options{})
+	checkGraph(t, g, 12, true)
+	if g.M() != 12 {
+		t.Fatalf("M = %d", g.M())
+	}
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(graph.NodeID(u)) != 2 {
+			t.Fatalf("ring degree at %d = %d", u, g.Degree(graph.NodeID(u)))
+		}
+	}
+	if g.Diameter() != 6 {
+		t.Fatalf("ring diameter = %d", g.Diameter())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(4, 5, rng(3), Options{})
+	checkGraph(t, g, 20, true)
+	if g.M() != 4*4+3*5 {
+		t.Fatalf("grid M = %d", g.M())
+	}
+	if g.Diameter() != 3+4 {
+		t.Fatalf("grid diameter = %d", g.Diameter())
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(4, 4, rng(4), Options{})
+	checkGraph(t, g, 16, true)
+	if g.M() != 2*16 {
+		t.Fatalf("torus M = %d", g.M())
+	}
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(graph.NodeID(u)) != 4 {
+			t.Fatal("torus should be 4-regular")
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(7, rng(5), Options{})
+	checkGraph(t, g, 7, true)
+	if g.M() != 21 || g.Diameter() != 1 {
+		t.Fatalf("K7: M=%d diam=%d", g.M(), g.Diameter())
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4, rng(6), Options{})
+	checkGraph(t, g, 16, true)
+	if g.M() != 32 || g.Diameter() != 4 {
+		t.Fatalf("Q4: M=%d diam=%d", g.M(), g.Diameter())
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(9, rng(7), Options{})
+	checkGraph(t, g, 9, true)
+	if g.MaxDegree() != 8 || g.M() != 8 {
+		t.Fatal("star shape wrong")
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g := BinaryTree(15, rng(8), Options{})
+	checkGraph(t, g, 15, true)
+	if g.M() != 14 || g.MaxDegree() != 3 {
+		t.Fatalf("binary tree: M=%d maxdeg=%d", g.M(), g.MaxDegree())
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(11, rng(9), Options{})
+	checkGraph(t, g, 11, true)
+	if g.M() != 10 {
+		t.Fatalf("caterpillar M = %d", g.M())
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := RandomTree(40, rng(seed), Options{})
+		checkGraph(t, g, 40, true)
+		if g.M() != 39 {
+			t.Fatalf("tree M = %d", g.M())
+		}
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := RandomConnected(30, 70, rng(seed), Options{})
+		checkGraph(t, g, 30, true)
+		if g.M() != 70 {
+			t.Fatalf("M = %d, want 70", g.M())
+		}
+	}
+	// Clamping.
+	g := RandomConnected(5, 1, rng(1), Options{})
+	if g.M() != 4 {
+		t.Fatalf("clamped low M = %d", g.M())
+	}
+	g = RandomConnected(5, 100, rng(1), Options{})
+	if g.M() != 10 {
+		t.Fatalf("clamped high M = %d", g.M())
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g := Lollipop(12, rng(30), Options{})
+	checkGraph(t, g, 12, true)
+	clique := 6
+	wantM := clique*(clique-1)/2 + (12 - clique)
+	if g.M() != wantM {
+		t.Fatalf("lollipop M = %d, want %d", g.M(), wantM)
+	}
+	// Diameter is dominated by the tail.
+	if g.Diameter() < 12-clique {
+		t.Fatalf("lollipop diameter = %d, too small", g.Diameter())
+	}
+}
+
+func TestWheel(t *testing.T) {
+	g := Wheel(10, rng(31), Options{})
+	checkGraph(t, g, 10, true)
+	if g.M() != 2*(10-1) {
+		t.Fatalf("wheel M = %d", g.M())
+	}
+	if g.Degree(0) != 9 {
+		t.Fatalf("hub degree = %d", g.Degree(0))
+	}
+	if g.Diameter() != 2 {
+		t.Fatalf("wheel diameter = %d", g.Diameter())
+	}
+}
+
+func TestExpander(t *testing.T) {
+	g := Expander(50, 3, rng(10), Options{})
+	checkGraph(t, g, 50, true)
+	if g.Diameter() > 10 {
+		t.Fatalf("expander diameter suspiciously large: %d", g.Diameter())
+	}
+}
+
+func TestWeightModes(t *testing.T) {
+	g := Complete(8, rng(11), Options{Weights: WeightsDistinct})
+	seen := map[graph.Weight]bool{}
+	for _, e := range g.Edges() {
+		if seen[e.W] {
+			t.Fatal("distinct mode produced a duplicate weight")
+		}
+		seen[e.W] = true
+		if e.W < 1 || e.W > graph.Weight(g.M()) {
+			t.Fatalf("weight %d out of range", e.W)
+		}
+	}
+
+	g = Complete(8, rng(12), Options{Weights: WeightsUnit})
+	for _, e := range g.Edges() {
+		if e.W != 1 {
+			t.Fatal("unit mode produced non-unit weight")
+		}
+	}
+
+	g = Complete(8, rng(13), Options{Weights: WeightsRandom})
+	ties := false
+	w0 := g.Edges()[0].W
+	for _, e := range g.Edges() {
+		if e.W != w0 {
+			ties = true
+		}
+	}
+	_ = ties // random weights need not tie, but must be in range
+	for _, e := range g.Edges() {
+		if e.W < 1 {
+			t.Fatal("random weight below 1")
+		}
+	}
+}
+
+func TestWeightModeString(t *testing.T) {
+	if WeightsDistinct.String() != "distinct" || WeightsUnit.String() != "unit" ||
+		WeightsRandom.String() != "random" || WeightMode(42).String() == "" {
+		t.Fatal("WeightMode.String broken")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := RandomConnected(25, 60, rng(99), Options{})
+	b := RandomConnected(25, 60, rng(99), Options{})
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := 0; i < a.M(); i++ {
+		ea, eb := a.Edge(graph.EdgeID(i)), b.Edge(graph.EdgeID(i))
+		if ea != eb {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea, eb)
+		}
+	}
+	for u := 0; u < a.N(); u++ {
+		if a.ID(graph.NodeID(u)) != b.ID(graph.NodeID(u)) {
+			t.Fatal("IDs differ across same-seed runs")
+		}
+	}
+}
+
+func TestPortShuffling(t *testing.T) {
+	// With KeepPorts the port labelling is canonical; without it two seeds
+	// should (almost surely) differ somewhere on a large graph.
+	a := Complete(10, rng(1), Options{KeepPorts: true, KeepIDs: true})
+	b := Complete(10, rng(2), Options{KeepPorts: true, KeepIDs: true})
+	same := true
+	for i := 0; i < a.M(); i++ {
+		ea, eb := a.Edge(graph.EdgeID(i)), b.Edge(graph.EdgeID(i))
+		if ea.U != eb.U || ea.V != eb.V {
+			same = false
+		}
+	}
+	if !same {
+		t.Fatal("KeepPorts should fix the edge insertion order")
+	}
+	c := Complete(10, rng(3), Options{KeepIDs: true})
+	diff := false
+	for i := 0; i < a.M(); i++ {
+		if a.Edge(graph.EdgeID(i)).U != c.Edge(graph.EdgeID(i)).U ||
+			a.Edge(graph.EdgeID(i)).V != c.Edge(graph.EdgeID(i)).V {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("port shuffling had no effect (astronomically unlikely)")
+	}
+}
+
+func TestKeepIDs(t *testing.T) {
+	g := Path(6, rng(20), Options{KeepIDs: true})
+	for u := 0; u < g.N(); u++ {
+		if g.ID(graph.NodeID(u)) != int64(u+1) {
+			t.Fatal("KeepIDs should give identity IDs")
+		}
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	for _, f := range Families() {
+		for _, n := range []int{8, 33} {
+			g := f.Build(n, rng(int64(n)), Options{})
+			if err := g.Validate(); err != nil {
+				t.Fatalf("family %s n=%d: %v", f.Name, n, err)
+			}
+			if !g.Connected() {
+				t.Fatalf("family %s n=%d: not connected", f.Name, n)
+			}
+			if g.N() < n/2 || g.N() > 2*n {
+				t.Fatalf("family %s n=%d: produced %d nodes", f.Name, n, g.N())
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"path", "ring", "grid", "tree", "random", "expander", "star", "caterpillar", "binarytree", "complete", "wheel", "lollipop"} {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if f.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, f.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown family")
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Path(0, rng(1), Options{}) },
+		func() { Ring(2, rng(1), Options{}) },
+		func() { Grid(0, 3, rng(1), Options{}) },
+		func() { Torus(2, 3, rng(1), Options{}) },
+		func() { Hypercube(0, rng(1), Options{}) },
+		func() { Star(1, rng(1), Options{}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

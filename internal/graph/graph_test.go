@@ -1,0 +1,364 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// triangle builds the weighted triangle used by several tests:
+// 0-1 (w=5), 1-2 (w=3), 0-2 (w=5).
+func triangle(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewBuilder(3).
+		AddEdge(0, 1, 5).
+		AddEdge(1, 2, 3).
+		AddEdge(0, 2, 5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := triangle(t)
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("N,M = %d,%d", g.N(), g.M())
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 2 || g.Degree(2) != 2 {
+		t.Fatal("wrong degrees")
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+	if g.MaxWeight() != 5 {
+		t.Fatalf("MaxWeight = %d", g.MaxWeight())
+	}
+	// Ports follow insertion order.
+	if g.HalfAt(0, 0).To != 1 || g.HalfAt(0, 1).To != 2 {
+		t.Fatal("port order at node 0 wrong")
+	}
+	e := g.Adj(1)[0].Edge
+	if g.Other(e, 1) != 0 || g.Other(e, 0) != 1 {
+		t.Fatal("Other inconsistent")
+	}
+	if g.PortAt(e, 0) != 0 || g.PortAt(e, 1) != 0 {
+		t.Fatal("PortAt inconsistent")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder(2).AddEdge(0, 0, 1).Build(); err == nil {
+		t.Error("self-loop not rejected")
+	}
+	if _, err := NewBuilder(2).AddEdge(0, 1, 1).AddEdge(1, 0, 2).Build(); err == nil {
+		t.Error("duplicate edge not rejected")
+	}
+	if _, err := NewBuilder(2).AddEdge(0, 3, 1).Build(); err == nil {
+		t.Error("out-of-range endpoint not rejected")
+	}
+	if _, err := NewBuilder(2).SetIDs([]int64{7, 7}).AddEdge(0, 1, 1).Build(); err == nil {
+		t.Error("duplicate IDs not rejected")
+	}
+	if _, err := NewBuilder(2).SetIDs([]int64{1}).Build(); err == nil {
+		t.Error("short ID slice not rejected")
+	}
+}
+
+func TestDefaultIDsDistinct(t *testing.T) {
+	g := triangle(t)
+	if g.ID(0) == g.ID(1) || g.ID(1) == g.ID(2) {
+		t.Fatal("default IDs not distinct")
+	}
+}
+
+func TestGlobalKeyTotalOrder(t *testing.T) {
+	// Equal weights everywhere: keys must still be pairwise distinct.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 1).AddEdge(1, 2, 1).AddEdge(2, 3, 1).AddEdge(3, 0, 1).AddEdge(0, 2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < g.M(); a++ {
+		for c := 0; c < g.M(); c++ {
+			if a == c {
+				continue
+			}
+			ka, kc := g.Key(EdgeID(a)), g.Key(EdgeID(c))
+			if ka == kc {
+				t.Fatalf("edges %d and %d share global key %+v", a, c, ka)
+			}
+			if ka.Less(kc) == kc.Less(ka) {
+				t.Fatalf("global order not antisymmetric for %d,%d", a, c)
+			}
+		}
+	}
+}
+
+func TestLocalRankBijection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		g := randomGraph(t, rng, 12, 25)
+		for u := NodeID(0); int(u) < g.N(); u++ {
+			seen := make(map[int]bool)
+			for p := 0; p < g.Degree(u); p++ {
+				r := g.LocalRank(u, p)
+				if r < 0 || r >= g.Degree(u) {
+					t.Fatalf("rank %d out of range", r)
+				}
+				if seen[r] {
+					t.Fatalf("duplicate local rank %d at node %d", r, u)
+				}
+				seen[r] = true
+				if g.PortOfLocalRank(u, r) != p {
+					t.Fatalf("PortOfLocalRank(%d,%d) != %d", u, r, p)
+				}
+			}
+		}
+	}
+}
+
+func TestLocalRankOrder(t *testing.T) {
+	// Node 0 with edges of weights 9, 2, 2 on ports 0, 1, 2:
+	// local order is (2,port1), (2,port2), (9,port0).
+	g := NewBuilder(4).AddEdge(0, 1, 9).AddEdge(0, 2, 2).AddEdge(0, 3, 2).MustBuild()
+	want := map[int]int{0: 2, 1: 0, 2: 1}
+	for port, rank := range want {
+		if got := g.LocalRank(0, port); got != rank {
+			t.Errorf("LocalRank(0,%d) = %d, want %d", port, got, rank)
+		}
+	}
+	if ports := g.PortsByLocalOrder(0); ports[0] != 1 || ports[1] != 2 || ports[2] != 0 {
+		t.Errorf("PortsByLocalOrder = %v", ports)
+	}
+}
+
+func TestGlobalRankConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(t, rng, 10, 20)
+		for u := NodeID(0); int(u) < g.N(); u++ {
+			ports := g.PortsByGlobalOrder(u)
+			for want, p := range ports {
+				if got := g.GlobalRankAt(u, p); got != want {
+					t.Fatalf("GlobalRankAt(%d,%d) = %d, want %d", u, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexAt(t *testing.T) {
+	// Node 0: weights 7 (port0), 3 (port1), 7 (port2), 3 (port3), 5 (port4).
+	g := NewBuilder(6).
+		AddEdge(0, 1, 7).AddEdge(0, 2, 3).AddEdge(0, 3, 7).AddEdge(0, 4, 3).AddEdge(0, 5, 5).
+		MustBuild()
+	cases := map[int]Index{
+		1: {1, 1}, // weight 3, first port of its class
+		3: {1, 2}, // weight 3, second port of its class
+		4: {2, 1}, // weight 5
+		0: {3, 1}, // weight 7, first
+		2: {3, 2}, // weight 7, second
+	}
+	for port, want := range cases {
+		if got := g.IndexAt(0, port); got != want {
+			t.Errorf("IndexAt(0,%d) = %+v, want %+v", port, got, want)
+		}
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	// Path 0-1-2-3.
+	g := NewBuilder(4).AddEdge(0, 1, 1).AddEdge(1, 2, 1).AddEdge(2, 3, 1).MustBuild()
+	dist, pp := g.BFS(0)
+	wantDist := []int{0, 1, 2, 3}
+	for i, d := range wantDist {
+		if dist[i] != d {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], d)
+		}
+	}
+	if pp[0] != -1 {
+		t.Fatal("source should have no parent")
+	}
+	// Node 3's parent port leads to node 2.
+	if g.HalfAt(3, pp[3]).To != 2 {
+		t.Fatal("parent port of node 3 wrong")
+	}
+	if !g.Connected() {
+		t.Fatal("path should be connected")
+	}
+	if g.Diameter() != 3 {
+		t.Fatalf("Diameter = %d, want 3", g.Diameter())
+	}
+	if g.Eccentricity(1) != 2 {
+		t.Fatalf("Ecc(1) = %d, want 2", g.Eccentricity(1))
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewBuilder(4).AddEdge(0, 1, 1).AddEdge(2, 3, 1).MustBuild()
+	if g.Connected() {
+		t.Fatal("graph should be disconnected")
+	}
+	dist, _ := g.BFS(0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatal("unreachable nodes should have dist -1")
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := NewBuilder(1).MustBuild()
+	if !g.Connected() || g.Diameter() != 0 || g.MaxDegree() != 0 {
+		t.Fatal("single-node invariants broken")
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for x, want := range cases {
+		if got := CeilLog2(x); got != want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestCeilLog2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CeilLog2(0)
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := triangle(t)
+	var buf strings.Builder
+	if err := g.WriteDOT(&buf, "tri", []EdgeID{1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph tri {", "n0 -- n1", "label=\"3\"", "style=bold", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Default name.
+	buf.Reset()
+	if err := g.WriteDOT(&buf, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "graph G {") {
+		t.Fatal("default name not applied")
+	}
+}
+
+// randomGraph builds a small random connected-ish graph with possible
+// weight ties (direct builder use; gen is tested separately to avoid an
+// import cycle in coverage reasoning).
+func randomGraph(t *testing.T, rng *rand.Rand, n, m int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	seen := map[[2]int]bool{}
+	for i := 1; i < n; i++ {
+		u := rng.Intn(i)
+		seen[[2]int{u, i}] = true
+		b.AddEdge(NodeID(u), NodeID(i), Weight(rng.Intn(7)+1))
+	}
+	for k := 0; k < m; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		b.AddEdge(NodeID(u), NodeID(v), Weight(rng.Intn(7)+1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// Property: the global order sorts edges primarily by weight.
+func TestQuickGlobalOrderRespectsWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(t, rng, 9, 14)
+		ids := make([]EdgeID, g.M())
+		for i := range ids {
+			ids[i] = EdgeID(i)
+		}
+		sort.Slice(ids, func(a, b int) bool { return g.EdgeLess(ids[a], ids[b]) })
+		for i := 1; i < len(ids); i++ {
+			if g.Weight(ids[i-1]) > g.Weight(ids[i]) {
+				t.Fatalf("global order violates weight order at %d", i)
+			}
+		}
+	}
+}
+
+// Property: IndexAt is injective over a node's ports.
+func TestQuickIndexInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(t, rng, 10, 20)
+		for u := NodeID(0); int(u) < g.N(); u++ {
+			seen := map[Index]bool{}
+			for p := 0; p < g.Degree(u); p++ {
+				idx := g.IndexAt(u, p)
+				if seen[idx] {
+					t.Fatalf("IndexAt not injective at node %d", u)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+}
+
+// Property: the global order is a strict total order — irreflexive,
+// antisymmetric and transitive — over sampled edge triples, including on
+// tie-heavy graphs.
+func TestQuickGlobalOrderStrictTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(t, rng, 10, 22)
+		m := g.M()
+		for k := 0; k < 200; k++ {
+			a := EdgeID(rng.Intn(m))
+			b := EdgeID(rng.Intn(m))
+			c := EdgeID(rng.Intn(m))
+			if g.EdgeLess(a, a) {
+				t.Fatal("irreflexivity violated")
+			}
+			if a != b && g.EdgeLess(a, b) == g.EdgeLess(b, a) {
+				t.Fatal("antisymmetry/totality violated")
+			}
+			if g.EdgeLess(a, b) && g.EdgeLess(b, c) && !g.EdgeLess(a, c) {
+				t.Fatal("transitivity violated")
+			}
+		}
+	}
+}
+
+// Property (via testing/quick): CeilLog2 satisfies 2^(k-1) < x <= 2^k.
+func TestQuickCeilLog2Bound(t *testing.T) {
+	f := func(raw uint16) bool {
+		x := int(raw%4096) + 1
+		k := CeilLog2(x)
+		return 1<<uint(k) >= x && (k == 0 || 1<<uint(k-1) < x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

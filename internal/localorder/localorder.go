@@ -1,0 +1,89 @@
+// Package localorder provides the edge-ordering computations that decoder
+// nodes perform on their local views. It mirrors, on the node side, the
+// orders defined centrally in package graph:
+//
+//   - the local order (weight, port), computable from a node's own input
+//     alone (used by zero- and one-round decoders);
+//   - the global intrinsic order (weight, smaller endpoint ID, port at that
+//     endpoint), computable once a node has learned each neighbour's ID and
+//     far-side port number (one exchange round).
+//
+// Keeping this logic in one place guarantees the oracle (which uses the
+// graph methods) and the decoders (which use these helpers) agree bit for
+// bit; the package tests check the two implementations against each other.
+package localorder
+
+import (
+	"sort"
+
+	"mstadvice/internal/graph"
+)
+
+// PortsByLocal returns the ports 0..deg-1 sorted by the local order
+// (weight, then port number). portW[p] is the weight of the edge at port p.
+func PortsByLocal(portW []graph.Weight) []int {
+	ports := make([]int, len(portW))
+	for i := range ports {
+		ports[i] = i
+	}
+	sort.Slice(ports, func(a, b int) bool {
+		wa, wb := portW[ports[a]], portW[ports[b]]
+		if wa != wb {
+			return wa < wb
+		}
+		return ports[a] < ports[b]
+	})
+	return ports
+}
+
+// LocalRankToPort maps a 0-based local rank to the port holding it.
+func LocalRankToPort(portW []graph.Weight, rank int) (int, bool) {
+	if rank < 0 || rank >= len(portW) {
+		return 0, false
+	}
+	return PortsByLocal(portW)[rank], true
+}
+
+// PortToLocalRank maps a port to its 0-based local rank.
+func PortToLocalRank(portW []graph.Weight, port int) int {
+	rank := 0
+	for p, w := range portW {
+		if w < portW[port] || (w == portW[port] && p < port) {
+			rank++
+		}
+	}
+	return rank
+}
+
+// KeyAt computes the global order key of the edge at a port, given what
+// the node knows after the ID exchange: its own ID and port, and the
+// neighbour's ID and far-side port.
+func KeyAt(w graph.Weight, selfID int64, selfPort int, nbrID int64, nbrPort int) graph.GlobalKey {
+	if selfID <= nbrID {
+		return graph.GlobalKey{W: w, MinID: selfID, PortAtMin: selfPort}
+	}
+	return graph.GlobalKey{W: w, MinID: nbrID, PortAtMin: nbrPort}
+}
+
+// PortsByGlobal returns the ports sorted by the global order. nbrID[p] and
+// nbrPort[p] describe the far side of the edge at port p.
+func PortsByGlobal(portW []graph.Weight, selfID int64, nbrID []int64, nbrPort []int) []int {
+	keys := make([]graph.GlobalKey, len(portW))
+	for p := range portW {
+		keys[p] = KeyAt(portW[p], selfID, p, nbrID[p], nbrPort[p])
+	}
+	ports := make([]int, len(portW))
+	for i := range ports {
+		ports[i] = i
+	}
+	sort.Slice(ports, func(a, b int) bool { return keys[ports[a]].Less(keys[ports[b]]) })
+	return ports
+}
+
+// GlobalRankToPort maps a 0-based global rank to its port.
+func GlobalRankToPort(portW []graph.Weight, selfID int64, nbrID []int64, nbrPort []int, rank int) (int, bool) {
+	if rank < 0 || rank >= len(portW) {
+		return 0, false
+	}
+	return PortsByGlobal(portW, selfID, nbrID, nbrPort)[rank], true
+}

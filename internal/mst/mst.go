@@ -1,0 +1,401 @@
+// Package mst implements sequential minimum-spanning-tree algorithms and
+// verifiers. Everything tie-breaks with the graph's intrinsic global edge
+// order, under which the MST is unique; Kruskal, Prim and Borůvka must
+// therefore return exactly the same edge set, and every distributed scheme
+// in this repository is verified against that set.
+package mst
+
+import (
+	"fmt"
+	"sort"
+
+	"mstadvice/internal/graph"
+	"mstadvice/internal/unionfind"
+)
+
+// Kruskal returns the unique MST (under the global order) of a connected
+// graph as a sorted slice of edge IDs.
+func Kruskal(g *graph.Graph) ([]graph.EdgeID, error) {
+	order := make([]graph.EdgeID, g.M())
+	for i := range order {
+		order[i] = graph.EdgeID(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return g.EdgeLess(order[a], order[b]) })
+	dsu := unionfind.New(g.N())
+	tree := make([]graph.EdgeID, 0, g.N()-1)
+	for _, e := range order {
+		rec := g.Edge(e)
+		if dsu.Union(int(rec.U), int(rec.V)) {
+			tree = append(tree, e)
+		}
+	}
+	if len(tree) != g.N()-1 {
+		return nil, fmt.Errorf("mst: graph is disconnected (%d tree edges for %d nodes)", len(tree), g.N())
+	}
+	sort.Slice(tree, func(a, b int) bool { return tree[a] < tree[b] })
+	return tree, nil
+}
+
+// halfHeap is a binary min-heap of candidate edges keyed by the global
+// order, used by Prim.
+type halfHeap struct {
+	g     *graph.Graph
+	items []graph.EdgeID
+}
+
+func (h *halfHeap) push(e graph.EdgeID) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.g.EdgeLess(h.items[i], h.items[p]) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *halfHeap) pop() graph.EdgeID {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.g.EdgeLess(h.items[l], h.items[small]) {
+			small = l
+		}
+		if r < len(h.items) && h.g.EdgeLess(h.items[r], h.items[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}
+
+// Prim returns the unique MST grown from start. For connected inputs the
+// result equals Kruskal's.
+func Prim(g *graph.Graph, start graph.NodeID) ([]graph.EdgeID, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("mst: empty graph")
+	}
+	inTree := make([]bool, g.N())
+	inTree[start] = true
+	h := &halfHeap{g: g}
+	for _, half := range g.Adj(start) {
+		h.push(half.Edge)
+	}
+	var tree []graph.EdgeID
+	for len(tree) < g.N()-1 && len(h.items) > 0 {
+		e := h.pop()
+		rec := g.Edge(e)
+		var u graph.NodeID
+		switch {
+		case inTree[rec.U] && inTree[rec.V]:
+			continue
+		case inTree[rec.U]:
+			u = rec.V
+		default:
+			u = rec.U
+		}
+		inTree[u] = true
+		tree = append(tree, e)
+		for _, half := range g.Adj(u) {
+			if !inTree[half.To] {
+				h.push(half.Edge)
+			}
+		}
+	}
+	if len(tree) != g.N()-1 {
+		return nil, fmt.Errorf("mst: graph is disconnected")
+	}
+	sort.Slice(tree, func(a, b int) bool { return tree[a] < tree[b] })
+	return tree, nil
+}
+
+// Boruvka returns the unique MST via the classic algorithm: every
+// component repeatedly selects its minimum outgoing edge under the global
+// order. The intrinsic total order guarantees the selected edge set is
+// acyclic even with weight ties.
+func Boruvka(g *graph.Graph) ([]graph.EdgeID, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("mst: empty graph")
+	}
+	dsu := unionfind.New(g.N())
+	var tree []graph.EdgeID
+	for dsu.Sets() > 1 {
+		best := make(map[int]graph.EdgeID) // component root -> min outgoing edge
+		for ei := 0; ei < g.M(); ei++ {
+			e := graph.EdgeID(ei)
+			rec := g.Edge(e)
+			ru, rv := dsu.Find(int(rec.U)), dsu.Find(int(rec.V))
+			if ru == rv {
+				continue
+			}
+			for _, r := range [2]int{ru, rv} {
+				if cur, ok := best[r]; !ok || g.EdgeLess(e, cur) {
+					best[r] = e
+				}
+			}
+		}
+		if len(best) == 0 {
+			return nil, fmt.Errorf("mst: graph is disconnected")
+		}
+		progress := false
+		// Deterministic iteration over components.
+		roots := make([]int, 0, len(best))
+		for r := range best {
+			roots = append(roots, r)
+		}
+		sort.Ints(roots)
+		for _, r := range roots {
+			e := best[r]
+			rec := g.Edge(e)
+			if dsu.Union(int(rec.U), int(rec.V)) {
+				tree = append(tree, e)
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("mst: no progress (internal error)")
+		}
+	}
+	sort.Slice(tree, func(a, b int) bool { return tree[a] < tree[b] })
+	return tree, nil
+}
+
+// ReverseDelete returns the unique MST by the dual of Kruskal: walk the
+// edges from heaviest to lightest (global order) and delete each one whose
+// removal keeps the graph connected. O(m²)-ish; used as an independent
+// cross-check of the other algorithms.
+func ReverseDelete(g *graph.Graph) ([]graph.EdgeID, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("mst: empty graph")
+	}
+	order := make([]graph.EdgeID, g.M())
+	for i := range order {
+		order[i] = graph.EdgeID(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return g.EdgeLess(order[b], order[a]) }) // descending
+	kept := make([]bool, g.M())
+	for i := range kept {
+		kept[i] = true
+	}
+	// connectedWithout checks connectivity over the kept edges.
+	connectedWithout := func() bool {
+		dsu := unionfind.New(g.N())
+		for ei := 0; ei < g.M(); ei++ {
+			if kept[ei] {
+				rec := g.Edge(graph.EdgeID(ei))
+				dsu.Union(int(rec.U), int(rec.V))
+			}
+		}
+		return dsu.Sets() == 1
+	}
+	if !connectedWithout() {
+		return nil, fmt.Errorf("mst: graph is disconnected")
+	}
+	for _, e := range order {
+		kept[e] = false
+		if !connectedWithout() {
+			kept[e] = true
+		}
+	}
+	var tree []graph.EdgeID
+	for ei := 0; ei < g.M(); ei++ {
+		if kept[ei] {
+			tree = append(tree, graph.EdgeID(ei))
+		}
+	}
+	if len(tree) != g.N()-1 {
+		return nil, fmt.Errorf("mst: reverse delete kept %d edges (internal error)", len(tree))
+	}
+	return tree, nil
+}
+
+// IsSpanningTree reports whether edges form a spanning tree of g.
+func IsSpanningTree(g *graph.Graph, edges []graph.EdgeID) bool {
+	if len(edges) != g.N()-1 {
+		return false
+	}
+	dsu := unionfind.New(g.N())
+	for _, e := range edges {
+		rec := g.Edge(e)
+		if !dsu.Union(int(rec.U), int(rec.V)) {
+			return false // cycle
+		}
+	}
+	return dsu.Sets() == 1
+}
+
+// Verify checks that edges form the unique MST of g using the cycle
+// property: a spanning tree is the unique MST under a strict total edge
+// order iff every non-tree edge is the strict maximum on the tree cycle it
+// closes. O(m·n); intended for tests.
+func Verify(g *graph.Graph, edges []graph.EdgeID) error {
+	if !IsSpanningTree(g, edges) {
+		return fmt.Errorf("mst: not a spanning tree")
+	}
+	inTree := make([]bool, g.M())
+	for _, e := range edges {
+		inTree[e] = true
+	}
+	// Tree adjacency for path finding.
+	adj := make([][]graph.EdgeID, g.N())
+	for _, e := range edges {
+		rec := g.Edge(e)
+		adj[rec.U] = append(adj[rec.U], e)
+		adj[rec.V] = append(adj[rec.V], e)
+	}
+	// parent edge of every node when the tree is rooted at 0.
+	parentEdge := make([]graph.EdgeID, g.N())
+	depth := make([]int, g.N())
+	visited := make([]bool, g.N())
+	visited[0] = true
+	parentEdge[0] = -1
+	queue := []graph.NodeID{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[u] {
+			v := g.Other(e, u)
+			if !visited[v] {
+				visited[v] = true
+				parentEdge[v] = e
+				depth[v] = depth[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	for ei := 0; ei < g.M(); ei++ {
+		e := graph.EdgeID(ei)
+		if inTree[e] {
+			continue
+		}
+		rec := g.Edge(e)
+		// Walk both endpoints up to their LCA; e must dominate every edge
+		// on the path.
+		u, v := rec.U, rec.V
+		for u != v {
+			if depth[u] < depth[v] {
+				u, v = v, u
+			}
+			pe := parentEdge[u]
+			if !g.EdgeLess(pe, e) {
+				return fmt.Errorf("mst: non-tree edge %d does not dominate tree edge %d on its cycle", e, pe)
+			}
+			u = g.Other(pe, u)
+		}
+	}
+	return nil
+}
+
+// Root orients a spanning tree towards root and returns, for every node,
+// the port of the edge leading to its parent (-1 for the root).
+func Root(g *graph.Graph, edges []graph.EdgeID, root graph.NodeID) ([]int, error) {
+	if len(edges) != g.N()-1 {
+		return nil, fmt.Errorf("mst: %d edges cannot span %d nodes", len(edges), g.N())
+	}
+	adj := make([][]graph.EdgeID, g.N())
+	for _, e := range edges {
+		rec := g.Edge(e)
+		adj[rec.U] = append(adj[rec.U], e)
+		adj[rec.V] = append(adj[rec.V], e)
+	}
+	parentPort := make([]int, g.N())
+	for i := range parentPort {
+		parentPort[i] = -2 // unvisited
+	}
+	parentPort[root] = -1
+	queue := []graph.NodeID{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[u] {
+			v := g.Other(e, u)
+			if parentPort[v] == -2 {
+				parentPort[v] = g.PortAt(e, v)
+				queue = append(queue, v)
+			}
+		}
+	}
+	for i, p := range parentPort {
+		if p == -2 {
+			return nil, fmt.Errorf("mst: node %d unreachable in tree", i)
+		}
+	}
+	return parentPort, nil
+}
+
+// EdgesFromParentPorts converts a parent-port assignment back into an edge
+// set, validating that exactly one node (the root) has port -1 and that
+// every other node names a real port.
+func EdgesFromParentPorts(g *graph.Graph, parentPort []int) ([]graph.EdgeID, error) {
+	if len(parentPort) != g.N() {
+		return nil, fmt.Errorf("mst: parent ports for %d nodes, graph has %d", len(parentPort), g.N())
+	}
+	roots := 0
+	var edges []graph.EdgeID
+	for u, p := range parentPort {
+		if p == -1 {
+			roots++
+			continue
+		}
+		if p < 0 || p >= g.Degree(graph.NodeID(u)) {
+			return nil, fmt.Errorf("mst: node %d has invalid parent port %d", u, p)
+		}
+		edges = append(edges, g.HalfAt(graph.NodeID(u), p).Edge)
+	}
+	if roots != 1 {
+		return nil, fmt.Errorf("mst: %d roots, want exactly 1", roots)
+	}
+	sort.Slice(edges, func(a, b int) bool { return edges[a] < edges[b] })
+	return edges, nil
+}
+
+// VerifyRooted checks that parentPort encodes the unique MST of g rooted at
+// root: the induced edge set is the MST, the root is root, and following
+// parents from any node reaches the root without cycles.
+func VerifyRooted(g *graph.Graph, parentPort []int, root graph.NodeID) error {
+	if parentPort[root] != -1 {
+		return fmt.Errorf("mst: designated root %d has parent port %d", root, parentPort[root])
+	}
+	edges, err := EdgesFromParentPorts(g, parentPort)
+	if err != nil {
+		return err
+	}
+	if err := Verify(g, edges); err != nil {
+		return err
+	}
+	// Orientation check: parent pointers must be acyclic and reach root.
+	for u := 0; u < g.N(); u++ {
+		steps := 0
+		for v := graph.NodeID(u); v != root; steps++ {
+			if steps > g.N() {
+				return fmt.Errorf("mst: parent pointers from %d do not reach the root", u)
+			}
+			v = g.HalfAt(v, parentPort[v]).To
+		}
+	}
+	return nil
+}
+
+// SameEdges reports whether two sorted edge sets are identical.
+func SameEdges(a, b []graph.EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

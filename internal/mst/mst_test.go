@@ -1,0 +1,286 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+
+	"mstadvice/internal/graph"
+	"mstadvice/internal/graph/gen"
+)
+
+func TestKruskalSmall(t *testing.T) {
+	// Square with diagonal: MST is the three cheapest edges.
+	g := graph.NewBuilder(4).
+		AddEdge(0, 1, 1).
+		AddEdge(1, 2, 2).
+		AddEdge(2, 3, 3).
+		AddEdge(3, 0, 4).
+		AddEdge(0, 2, 5).
+		MustBuild()
+	tree, err := Kruskal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.EdgeID{0, 1, 2}
+	if !SameEdges(tree, want) {
+		t.Fatalf("Kruskal = %v, want %v", tree, want)
+	}
+	if g.TotalWeight(tree) != 6 {
+		t.Fatalf("weight = %d", g.TotalWeight(tree))
+	}
+	if err := Verify(g, tree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := graph.NewBuilder(4).AddEdge(0, 1, 1).AddEdge(2, 3, 1).MustBuild()
+	if _, err := Kruskal(g); err == nil {
+		t.Error("Kruskal should fail on disconnected graph")
+	}
+	if _, err := Prim(g, 0); err == nil {
+		t.Error("Prim should fail on disconnected graph")
+	}
+	if _, err := Boruvka(g); err == nil {
+		t.Error("Boruvka should fail on disconnected graph")
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := graph.NewBuilder(1).MustBuild()
+	for name, f := range map[string]func() ([]graph.EdgeID, error){
+		"kruskal": func() ([]graph.EdgeID, error) { return Kruskal(g) },
+		"prim":    func() ([]graph.EdgeID, error) { return Prim(g, 0) },
+		"boruvka": func() ([]graph.EdgeID, error) { return Boruvka(g) },
+	} {
+		tree, err := f()
+		if err != nil || len(tree) != 0 {
+			t.Errorf("%s on K1: tree=%v err=%v", name, tree, err)
+		}
+	}
+}
+
+// ReverseDelete agrees with Kruskal (independent dual derivation), across
+// weight modes including full ties.
+func TestReverseDelete(t *testing.T) {
+	for _, mode := range []gen.WeightMode{gen.WeightsDistinct, gen.WeightsUnit} {
+		for _, n := range []int{2, 6, 15, 24} {
+			rng := rand.New(rand.NewSource(int64(n) + int64(mode)*31))
+			g := gen.RandomConnected(n, 3*n, rng, gen.Options{Weights: mode})
+			want, err := Kruskal(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReverseDelete(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !SameEdges(got, want) {
+				t.Fatalf("n=%d mode=%v: reverse delete %v != kruskal %v", n, mode, got, want)
+			}
+		}
+	}
+	// Disconnected input.
+	bad := graph.NewBuilder(4).AddEdge(0, 1, 1).AddEdge(2, 3, 1).MustBuild()
+	if _, err := ReverseDelete(bad); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+// All three algorithms agree on the unique MST across families, sizes,
+// weight modes (including heavy ties) and seeds.
+func TestAlgorithmsAgree(t *testing.T) {
+	for _, mode := range []gen.WeightMode{gen.WeightsDistinct, gen.WeightsRandom, gen.WeightsUnit} {
+		for _, fam := range gen.Families() {
+			for _, n := range []int{2, 5, 16, 40} {
+				if fam.Name == "ring" && n < 3 {
+					continue
+				}
+				rng := rand.New(rand.NewSource(int64(n)*31 + int64(mode)))
+				g := fam.Build(n, rng, gen.Options{Weights: mode})
+				k, err := Kruskal(g)
+				if err != nil {
+					t.Fatalf("%s/%s n=%d kruskal: %v", fam.Name, mode, n, err)
+				}
+				p, err := Prim(g, graph.NodeID(rng.Intn(g.N())))
+				if err != nil {
+					t.Fatalf("%s/%s n=%d prim: %v", fam.Name, mode, n, err)
+				}
+				b, err := Boruvka(g)
+				if err != nil {
+					t.Fatalf("%s/%s n=%d boruvka: %v", fam.Name, mode, n, err)
+				}
+				if !SameEdges(k, p) {
+					t.Fatalf("%s/%s n=%d: kruskal %v != prim %v", fam.Name, mode, n, k, p)
+				}
+				if !SameEdges(k, b) {
+					t.Fatalf("%s/%s n=%d: kruskal %v != boruvka %v", fam.Name, mode, n, k, b)
+				}
+				if err := Verify(g, k); err != nil {
+					t.Fatalf("%s/%s n=%d verify: %v", fam.Name, mode, n, err)
+				}
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsNonMST(t *testing.T) {
+	// Path weights force edges 0,1; the triangle edge 2 is heavier.
+	g := graph.NewBuilder(3).
+		AddEdge(0, 1, 1).
+		AddEdge(1, 2, 2).
+		AddEdge(0, 2, 9).
+		MustBuild()
+	if err := Verify(g, []graph.EdgeID{0, 2}); err == nil {
+		t.Fatal("Verify accepted a non-minimum spanning tree")
+	}
+	if err := Verify(g, []graph.EdgeID{0}); err == nil {
+		t.Fatal("Verify accepted a non-spanning edge set")
+	}
+	if err := Verify(g, []graph.EdgeID{0, 1}); err != nil {
+		t.Fatalf("Verify rejected the true MST: %v", err)
+	}
+}
+
+func TestIsSpanningTree(t *testing.T) {
+	g := graph.NewBuilder(4).
+		AddEdge(0, 1, 1).AddEdge(1, 2, 1).AddEdge(2, 0, 1).AddEdge(2, 3, 1).
+		MustBuild()
+	if IsSpanningTree(g, []graph.EdgeID{0, 1, 2}) {
+		t.Error("cycle accepted")
+	}
+	if IsSpanningTree(g, []graph.EdgeID{0, 1}) {
+		t.Error("too few edges accepted")
+	}
+	if !IsSpanningTree(g, []graph.EdgeID{0, 1, 3}) {
+		t.Error("valid spanning tree rejected")
+	}
+}
+
+func TestRootAndVerifyRooted(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := gen.RandomConnected(25, 60, rng, gen.Options{})
+	tree, err := Kruskal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, root := range []graph.NodeID{0, 7, 24} {
+		pp, err := Root(g, tree, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyRooted(g, pp, root); err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		back, err := EdgesFromParentPorts(g, pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SameEdges(back, tree) {
+			t.Fatalf("root %d: edges differ after rooting", root)
+		}
+	}
+}
+
+func TestVerifyRootedRejects(t *testing.T) {
+	g := graph.NewBuilder(3).
+		AddEdge(0, 1, 1).
+		AddEdge(1, 2, 2).
+		AddEdge(0, 2, 9).
+		MustBuild()
+	tree, _ := Kruskal(g)
+	pp, _ := Root(g, tree, 0)
+
+	// Wrong designated root.
+	if err := VerifyRooted(g, pp, 1); err == nil {
+		t.Error("accepted wrong root")
+	}
+	// Two roots.
+	bad := append([]int(nil), pp...)
+	bad[2] = -1
+	if err := VerifyRooted(g, bad, 0); err == nil {
+		t.Error("accepted two roots")
+	}
+	// Invalid port.
+	bad = append([]int(nil), pp...)
+	bad[1] = 99
+	if err := VerifyRooted(g, bad, 0); err == nil {
+		t.Error("accepted invalid port")
+	}
+	// Cycle: orient 1 and 2 at each other (edge 1 used twice keeps edge
+	// count at n-1 only if another node drops its parent; build explicitly).
+	bad = []int{-1, g.PortAt(1, 1), g.PortAt(1, 2)}
+	if err := VerifyRooted(g, bad, 0); err == nil {
+		t.Error("accepted a parent-pointer cycle")
+	}
+}
+
+func TestEdgesFromParentPortsErrors(t *testing.T) {
+	g := graph.NewBuilder(2).AddEdge(0, 1, 1).MustBuild()
+	if _, err := EdgesFromParentPorts(g, []int{-1}); err == nil {
+		t.Error("accepted wrong length")
+	}
+	if _, err := EdgesFromParentPorts(g, []int{-1, -1}); err == nil {
+		t.Error("accepted two roots")
+	}
+	if _, err := EdgesFromParentPorts(g, []int{0, 0}); err == nil {
+		t.Error("accepted zero roots")
+	}
+}
+
+// Property: on unit weights any spanning tree is an MST, and Verify must
+// accept whatever Kruskal returns while the orientation round-trips.
+func TestUnitWeightsRootRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		g := gen.RandomConnected(15, 35, rng, gen.Options{Weights: gen.WeightsUnit})
+		tree, err := Kruskal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(g, tree); err != nil {
+			t.Fatal(err)
+		}
+		root := graph.NodeID(rng.Intn(g.N()))
+		pp, err := Root(g, tree, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyRooted(g, pp, root); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKruskal(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.RandomConnected(1000, 5000, rng, gen.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Kruskal(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrim(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.RandomConnected(1000, 5000, rng, gen.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Prim(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBoruvka(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.RandomConnected(1000, 5000, rng, gen.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Boruvka(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

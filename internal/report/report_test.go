@@ -1,0 +1,40 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRender(t *testing.T) {
+	tab := New("title", "a", "longer-column", "b")
+	tab.Add(1, 2.5, true)
+	tab.Add("wide-cell-content", 0.0, false)
+	tab.Note = "a note"
+	out := tab.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "a note") {
+		t.Fatalf("missing title/note:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, header, separator, two rows, note
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "2.50") {
+		t.Fatalf("float not formatted: %q", lines[3])
+	}
+	if !strings.Contains(lines[3], "yes") || !strings.Contains(lines[4], "NO") {
+		t.Fatalf("bools not formatted:\n%s", out)
+	}
+	// Columns align: header and separator have equal width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("separator misaligned:\n%s", out)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := New("", "x")
+	out := tab.String()
+	if !strings.HasPrefix(out, "x") {
+		t.Fatalf("unexpected render: %q", out)
+	}
+}

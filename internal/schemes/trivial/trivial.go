@@ -1,0 +1,91 @@
+// Package trivial implements the paper's straightforward
+// (⌈log n⌉, 0)-advising scheme for MST: the oracle gives every node the
+// rank of its parent edge among its incident edges (the rank r_u(e) of
+// indexu(e), realised here as the position of the edge in the node's local
+// (weight, port) order), and the decoder recovers the port from the rank
+// with no communication at all.
+//
+// The advice width at node u is ⌈log2(deg(u)+1)⌉ bits — one value is
+// reserved to mark the root — hence at most ⌈log n⌉ + O(1) bits anywhere,
+// matching the scheme's m = ⌈log n⌉ profile.
+package trivial
+
+import (
+	"fmt"
+
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/graph"
+	"mstadvice/internal/localorder"
+	"mstadvice/internal/mst"
+	"mstadvice/internal/sim"
+)
+
+// Scheme is the (⌈log n⌉, 0)-advising scheme. The zero value is ready to
+// use.
+type Scheme struct{}
+
+// Name implements advice.Scheme.
+func (Scheme) Name() string { return "trivial" }
+
+// width returns the advice width for a node of the given degree: enough
+// bits for the values 0 (root marker) and 1..deg (1-based parent rank).
+func width(deg int) int { return bitstring.WidthFor(uint64(deg)) }
+
+// Advise gives node u the value 1+rank(parent edge) in its local order, or
+// 0 if u is the root.
+func (Scheme) Advise(g *graph.Graph, root graph.NodeID) ([]*bitstring.BitString, error) {
+	tree, err := mst.Kruskal(g)
+	if err != nil {
+		return nil, err
+	}
+	parentPort, err := mst.Root(g, tree, root)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*bitstring.BitString, g.N())
+	for u := 0; u < g.N(); u++ {
+		s := bitstring.New(8)
+		if parentPort[u] == -1 {
+			s.AppendUint(0, width(g.Degree(graph.NodeID(u))))
+		} else {
+			rank := g.LocalRank(graph.NodeID(u), parentPort[u])
+			s.AppendUint(uint64(rank)+1, width(g.Degree(graph.NodeID(u))))
+		}
+		out[u] = s
+	}
+	return out, nil
+}
+
+// NewNode implements advice.Scheme.
+func (Scheme) NewNode(view *sim.NodeView) sim.Node { return &node{} }
+
+// node decodes the advice at Start and never communicates.
+type node struct {
+	parentPort int
+	done       bool
+}
+
+func (n *node) Start(ctx *sim.Ctx, view *sim.NodeView) []sim.Send {
+	w := width(view.Deg)
+	if view.Advice.Len() != w {
+		panic(fmt.Sprintf("trivial: advice has %d bits, want %d", view.Advice.Len(), w))
+	}
+	v := view.Advice.Uint(0, w)
+	if v == 0 {
+		n.parentPort = -1
+	} else {
+		port, ok := localorder.LocalRankToPort(view.PortW, int(v-1))
+		if !ok {
+			panic(fmt.Sprintf("trivial: rank %d out of range for degree %d", v-1, view.Deg))
+		}
+		n.parentPort = port
+	}
+	n.done = true
+	return nil
+}
+
+func (n *node) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Received) []sim.Send {
+	return nil
+}
+
+func (n *node) Output() (int, bool) { return n.parentPort, n.done }

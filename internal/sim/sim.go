@@ -1,0 +1,371 @@
+// Package sim is a synchronous message-passing network simulator for the
+// LOCAL/CONGEST models of distributed computing (Peleg 2000), the setting
+// of Fraigniaud, Korman and Lebhar (SPAA 2007).
+//
+// Execution proceeds in rounds. In every round each node receives the
+// messages sent to it in the previous round, performs local computation,
+// and sends at most one message per incident port. Nodes are state
+// machines behind the Node interface; within a round all nodes execute
+// concurrently on a goroutine pool (node processes map naturally onto
+// goroutines) with a barrier between rounds, so results are deterministic
+// regardless of scheduling.
+//
+// Information hygiene is enforced by construction: a node factory receives
+// only the node's legal local input — its identifier, degree, incident
+// edge weights by port, the advice string, and n — never the graph.
+//
+// The engine accounts rounds, message counts and message sizes in bits
+// under an explicit CostModel (identifier, port and weight field widths),
+// which is how upper bounds are checked against the CONGEST regime.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/graph"
+)
+
+// CostModel fixes the bit widths of message fields, derived from the
+// network parameters as in the CONGEST(B) model with B = Θ(log n).
+type CostModel struct {
+	IDBits     int // width of a node identifier
+	PortBits   int // width of a port number
+	WeightBits int // width of an edge weight
+}
+
+// NewCostModel derives field widths from a graph.
+func NewCostModel(g *graph.Graph) CostModel {
+	maxID := int64(1)
+	for u := 0; u < g.N(); u++ {
+		if id := g.ID(graph.NodeID(u)); id > maxID {
+			maxID = id
+		}
+	}
+	return CostModel{
+		IDBits:     bitstring.WidthFor(uint64(maxID)),
+		PortBits:   bitstring.WidthFor(uint64(maxInt(g.MaxDegree()-1, 1))), // ports are 0..deg-1
+		WeightBits: bitstring.WidthFor(uint64(maxInt64(int64(g.MaxWeight()), 1))),
+	}
+}
+
+// Message is anything a node sends along an edge. SizeBits reports the
+// message's size under a cost model; it must not depend on mutable state.
+type Message interface {
+	SizeBits(cm CostModel) int
+}
+
+// Received pairs an incoming message with the local port it arrived on.
+type Received struct {
+	Port int
+	Msg  Message
+}
+
+// Send pairs an outgoing message with the local port to send it on.
+type Send struct {
+	Port int
+	Msg  Message
+}
+
+// NodeView is the legal local input of a node: everything it may know
+// before communication starts.
+type NodeView struct {
+	ID     int64                // this node's (distinct) identifier
+	N      int                  // number of nodes in the network (standard assumption)
+	Deg    int                  // number of incident edges
+	PortW  []graph.Weight       // weight of the incident edge at each port
+	Advice *bitstring.BitString // oracle advice (may be nil or empty)
+}
+
+// Ctx carries per-round information into a node's handlers.
+type Ctx struct {
+	Round int       // current round, 1-based (0 during Start)
+	Pulse int       // number of quiescence pulses observed so far
+	Cost  CostModel // field widths, for algorithms that size their own messages
+}
+
+// Node is a distributed algorithm instance at one node.
+//
+// Start is called once before round 1 and may already send. Round is
+// called every round with the messages delivered this round (possibly
+// none). Output returns the node's MST output — the port of the edge to
+// its parent, or -1 for "I am the root" — and whether the node has
+// terminated. A node may send in the same round it terminates; the run
+// ends once every node reports done (undelivered final messages are
+// dropped, as the computation is over).
+type Node interface {
+	Start(ctx *Ctx, view *NodeView) []Send
+	Round(ctx *Ctx, view *NodeView, inbox []Received) []Send
+	Output() (parentPort int, done bool)
+}
+
+// Factory builds the algorithm instance for one node from its local view.
+type Factory func(view *NodeView) Node
+
+// Options configure a run.
+type Options struct {
+	// MaxRounds aborts runs that fail to terminate. 0 means 50·(n+10) + 1000.
+	MaxRounds int
+	// Workers is the goroutine pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Sequential forces single-goroutine execution (useful to demonstrate
+	// determinism against the parallel path).
+	Sequential bool
+	// EnablePulses turns on the idealized quiescence synchronizer: at the
+	// start of any round with no messages in flight (and not all nodes
+	// done), Ctx.Pulse increments. Self-timed algorithms use pulses as
+	// global phase barriers; see DESIGN.md for the idealization note.
+	EnablePulses bool
+	// RecordRoundStats collects per-round message statistics.
+	RecordRoundStats bool
+	// CongestB, when positive, audits the run against the CONGEST(B)
+	// model: every message larger than B bits counts as a violation in
+	// Result.CongestViolations (the run continues; experiments report the
+	// count).
+	CongestB int
+	// DropEvery, when positive, deterministically drops every k-th routed
+	// message (fault injection: the model itself is reliable, so protocols
+	// may legitimately break — tests assert they never silently emit a
+	// wrong verified answer).
+	DropEvery int
+}
+
+// RoundStats are per-round message statistics.
+type RoundStats struct {
+	Round    int
+	Messages int
+	Bits     int64
+}
+
+// Result summarises a run.
+type Result struct {
+	Rounds      int   // rounds executed until global termination
+	Pulses      int   // quiescence pulses delivered
+	Messages    int64 // total messages delivered
+	TotalBits   int64 // total message bits under the cost model
+	MaxMsgBits  int   // largest single message
+	ParentPorts []int // per-node outputs
+	PerRound    []RoundStats
+	// CongestViolations counts messages exceeding Options.CongestB.
+	CongestViolations int64
+	// Dropped counts messages removed by Options.DropEvery fault injection.
+	Dropped int64
+}
+
+// Network binds a graph to the simulator and carries the immutable routing
+// tables.
+type Network struct {
+	g    *graph.Graph
+	cost CostModel
+}
+
+// NewNetwork prepares a simulator for g.
+func NewNetwork(g *graph.Graph) *Network {
+	return &Network{g: g, cost: NewCostModel(g)}
+}
+
+// Cost returns the network's cost model.
+func (nw *Network) Cost() CostModel { return nw.cost }
+
+// Run executes the algorithm on every node until all nodes report done.
+// advice[u] is handed to node u (nil entries become empty strings); pass a
+// nil slice for no advice at all.
+func (nw *Network) Run(factory Factory, advice []*bitstring.BitString, opt Options) (*Result, error) {
+	g := nw.g
+	n := g.N()
+	if advice != nil && len(advice) != n {
+		return nil, fmt.Errorf("sim: %d advice strings for %d nodes", len(advice), n)
+	}
+	maxRounds := opt.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 50*(n+10) + 1000
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Sequential {
+		workers = 1
+	}
+
+	views := make([]*NodeView, n)
+	nodes := make([]Node, n)
+	for u := 0; u < n; u++ {
+		pw := make([]graph.Weight, g.Degree(graph.NodeID(u)))
+		for p := range pw {
+			pw[p] = g.HalfAt(graph.NodeID(u), p).W
+		}
+		var adv *bitstring.BitString
+		if advice != nil && advice[u] != nil {
+			adv = advice[u]
+		} else {
+			adv = bitstring.New(0)
+		}
+		views[u] = &NodeView{ID: g.ID(graph.NodeID(u)), N: n, Deg: len(pw), PortW: pw, Advice: adv}
+		nodes[u] = factory(views[u])
+	}
+
+	res := &Result{ParentPorts: make([]int, n)}
+	inboxes := make([][]Received, n)
+	outboxes := make([][]Send, n)
+	errs := make([]error, n)
+	routed := int64(0) // messages routed so far, for DropEvery
+
+	// parallelFor runs fn(u) for every node on the worker pool.
+	parallelFor := func(fn func(u int)) {
+		if workers == 1 || n < 2 {
+			for u := 0; u < n; u++ {
+				fn(u)
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for u := lo; u < hi; u++ {
+					fn(u)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// validate and route the outboxes produced in this round; returns the
+	// number of messages in flight for the next round.
+	route := func(round int) (int, error) {
+		for u := 0; u < n; u++ {
+			if errs[u] != nil {
+				return 0, errs[u]
+			}
+		}
+		inflight := 0
+		var roundBits int64
+		for u := 0; u < n; u++ {
+			seen := make(map[int]bool, len(outboxes[u]))
+			for _, s := range outboxes[u] {
+				if s.Port < 0 || s.Port >= g.Degree(graph.NodeID(u)) {
+					return 0, fmt.Errorf("sim: node %d sent on invalid port %d in round %d", u, s.Port, round)
+				}
+				if seen[s.Port] {
+					return 0, fmt.Errorf("sim: node %d sent twice on port %d in round %d", u, s.Port, round)
+				}
+				seen[s.Port] = true
+				routed++
+				if opt.DropEvery > 0 && routed%int64(opt.DropEvery) == 0 {
+					res.Dropped++
+					continue
+				}
+				half := g.HalfAt(graph.NodeID(u), s.Port)
+				dstPort := g.PortAt(half.Edge, half.To)
+				inboxes[half.To] = append(inboxes[half.To], Received{Port: dstPort, Msg: s.Msg})
+				bits := s.Msg.SizeBits(nw.cost)
+				res.Messages++
+				res.TotalBits += int64(bits)
+				roundBits += int64(bits)
+				if bits > res.MaxMsgBits {
+					res.MaxMsgBits = bits
+				}
+				if opt.CongestB > 0 && bits > opt.CongestB {
+					res.CongestViolations++
+				}
+				inflight++
+			}
+			outboxes[u] = nil
+		}
+		if opt.RecordRoundStats && round >= 0 {
+			res.PerRound = append(res.PerRound, RoundStats{Round: round, Messages: inflight, Bits: roundBits})
+		}
+		return inflight, nil
+	}
+
+	allDone := func() bool {
+		for u := 0; u < n; u++ {
+			if _, done := nodes[u].Output(); !done {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Round 0: Start.
+	ctx := Ctx{Round: 0, Cost: nw.cost}
+	parallelFor(func(u int) {
+		defer capture(&errs[u], u, 0)
+		outboxes[u] = nodes[u].Start(&ctx, views[u])
+	})
+	inflight, err := route(0)
+	if err != nil {
+		return nil, err
+	}
+
+	round := 0
+	for !allDone() {
+		if round >= maxRounds {
+			return nil, fmt.Errorf("sim: no termination after %d rounds", maxRounds)
+		}
+		round++
+		if opt.EnablePulses && inflight == 0 {
+			ctx.Pulse++
+			res.Pulses++
+		}
+		ctx.Round = round
+		parallelFor(func(u int) {
+			defer capture(&errs[u], u, round)
+			inbox := inboxes[u]
+			inboxes[u] = nil
+			sort.Slice(inbox, func(a, b int) bool { return inbox[a].Port < inbox[b].Port })
+			outboxes[u] = nodes[u].Round(&ctx, views[u], inbox)
+		})
+		if inflight, err = route(round); err != nil {
+			return nil, err
+		}
+	}
+	res.Rounds = round
+	for u := 0; u < n; u++ {
+		res.ParentPorts[u], _ = nodes[u].Output()
+	}
+	return res, nil
+}
+
+// capture converts a node panic into an engine error with context.
+func capture(dst *error, u, round int) {
+	if r := recover(); r != nil {
+		if debugPanics {
+			panic(r)
+		}
+		*dst = fmt.Errorf("sim: node %d panicked in round %d: %v", u, round, r)
+	}
+}
+
+// debugPanics lets tests re-panic node failures to see stack traces.
+var debugPanics = false
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DebugPanics toggles re-panicking of node failures (test hook).
+func DebugPanics(on bool) { debugPanics = on }

@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/graph"
+	"mstadvice/internal/graph/gen"
+)
+
+// tmsg is a test message carrying one integer; its size is IDBits.
+type tmsg struct{ v int64 }
+
+func (m tmsg) SizeBits(cm CostModel) int { return cm.IDBits }
+
+// silent terminates immediately with output -1.
+type silent struct{}
+
+func (*silent) Start(*Ctx, *NodeView) []Send             { return nil }
+func (*silent) Round(*Ctx, *NodeView, []Received) []Send { return nil }
+func (*silent) Output() (int, bool)                      { return -1, true }
+
+func TestZeroRounds(t *testing.T) {
+	g := gen.Ring(5, rand.New(rand.NewSource(1)), gen.Options{})
+	res, err := NewNetwork(g).Run(func(*NodeView) Node { return &silent{} }, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.Messages != 0 {
+		t.Fatalf("silent run: rounds=%d msgs=%d", res.Rounds, res.Messages)
+	}
+}
+
+// bfsNode builds a BFS tree from the node whose advice is the single bit 1:
+// the root floods a wave; every node adopts the first port the wave
+// arrived on and forwards once.
+type bfsNode struct {
+	isRoot  bool
+	parent  int
+	done    bool
+	relayed bool
+}
+
+func newBFSNode(view *NodeView) Node {
+	b := &bfsNode{parent: -2}
+	if view.Advice.Len() == 1 && view.Advice.Bit(0) {
+		b.isRoot = true
+	}
+	return b
+}
+
+func (b *bfsNode) Start(ctx *Ctx, view *NodeView) []Send {
+	if b.isRoot {
+		b.parent = -1
+		b.done = true
+		b.relayed = true
+		return sendAll(view.Deg, tmsg{1})
+	}
+	return nil
+}
+
+func (b *bfsNode) Round(ctx *Ctx, view *NodeView, inbox []Received) []Send {
+	if b.relayed || len(inbox) == 0 {
+		return nil
+	}
+	b.parent = inbox[0].Port // lowest port: inboxes arrive sorted
+	b.done = true
+	b.relayed = true
+	return sendAll(view.Deg, tmsg{1})
+}
+
+func (b *bfsNode) Output() (int, bool) { return b.parent, b.done }
+
+func sendAll(deg int, m Message) []Send {
+	out := make([]Send, deg)
+	for p := range out {
+		out[p] = Send{Port: p, Msg: m}
+	}
+	return out
+}
+
+func bfsAdvice(n int, root int) []*bitstring.BitString {
+	adv := make([]*bitstring.BitString, n)
+	for i := range adv {
+		adv[i] = bitstring.New(1)
+		adv[i].AppendBit(i == root)
+	}
+	return adv
+}
+
+func TestBFSWave(t *testing.T) {
+	g := gen.Path(10, rand.New(rand.NewSource(2)), gen.Options{})
+	res, err := NewNetwork(g).Run(newBFSNode, bfsAdvice(10, 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wave needs ecc(0) rounds to reach the far end (+1 for its relay
+	// round, which the engine still executes before noticing termination).
+	ecc := g.Eccentricity(0)
+	if res.Rounds < ecc || res.Rounds > ecc+1 {
+		t.Fatalf("BFS rounds = %d, want about ecc = %d", res.Rounds, ecc)
+	}
+	// Exactly one root; every other node's parent is its BFS predecessor.
+	dist, _ := g.BFS(0)
+	for u := 0; u < g.N(); u++ {
+		pp := res.ParentPorts[u]
+		if u == 0 {
+			if pp != -1 {
+				t.Fatalf("root parent = %d", pp)
+			}
+			continue
+		}
+		v := g.HalfAt(graph.NodeID(u), pp).To
+		if dist[v] != dist[u]-1 {
+			t.Fatalf("node %d parent %d is not one closer to the root", u, v)
+		}
+	}
+	if res.MaxMsgBits != NewCostModel(g).IDBits {
+		t.Fatalf("MaxMsgBits = %d", res.MaxMsgBits)
+	}
+	wantMsgs := int64(0)
+	for u := 0; u < g.N(); u++ {
+		wantMsgs += int64(g.Degree(graph.NodeID(u)))
+	}
+	if res.Messages != wantMsgs {
+		t.Fatalf("Messages = %d, want %d (every node relays once)", res.Messages, wantMsgs)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g := gen.RandomConnected(200, 600, rand.New(rand.NewSource(3)), gen.Options{})
+	adv := bfsAdvice(g.N(), 7)
+	seq, err := NewNetwork(g).Run(newBFSNode, adv, Options{Sequential: true, RecordRoundStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewNetwork(g).Run(newBFSNode, adv, Options{Workers: 8, RecordRoundStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Rounds != par.Rounds || seq.Messages != par.Messages || seq.TotalBits != par.TotalBits {
+		t.Fatalf("parallel/sequential divergence: %+v vs %+v", seq, par)
+	}
+	for u := range seq.ParentPorts {
+		if seq.ParentPorts[u] != par.ParentPorts[u] {
+			t.Fatalf("output differs at node %d", u)
+		}
+	}
+	if len(seq.PerRound) != len(par.PerRound) {
+		t.Fatal("round stats differ")
+	}
+}
+
+// pulseNode terminates after observing two pulses, sending one message
+// after the first to force a communication round in between.
+type pulseNode struct {
+	sent bool
+	done bool
+}
+
+func (p *pulseNode) Start(*Ctx, *NodeView) []Send { return nil }
+func (p *pulseNode) Round(ctx *Ctx, view *NodeView, inbox []Received) []Send {
+	if ctx.Pulse >= 2 {
+		p.done = true
+		return nil
+	}
+	if ctx.Pulse == 1 && !p.sent && view.Deg > 0 {
+		p.sent = true
+		return []Send{{Port: 0, Msg: tmsg{7}}}
+	}
+	return nil
+}
+func (p *pulseNode) Output() (int, bool) { return -1, p.done }
+
+func TestPulses(t *testing.T) {
+	g := gen.Ring(6, rand.New(rand.NewSource(4)), gen.Options{})
+	res, err := NewNetwork(g).Run(func(*NodeView) Node { return &pulseNode{} }, nil, Options{EnablePulses: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pulses < 2 {
+		t.Fatalf("expected at least 2 pulses, got %d", res.Pulses)
+	}
+	if res.Messages != 6 {
+		t.Fatalf("Messages = %d, want 6", res.Messages)
+	}
+}
+
+func TestNoPulsesWithoutOption(t *testing.T) {
+	g := gen.Ring(4, rand.New(rand.NewSource(5)), gen.Options{})
+	_, err := NewNetwork(g).Run(func(*NodeView) Node { return &pulseNode{} }, nil,
+		Options{MaxRounds: 50})
+	if err == nil {
+		t.Fatal("pulse-waiting nodes should never terminate without EnablePulses")
+	}
+}
+
+// badPort sends on a port that does not exist.
+type badPort struct{ done bool }
+
+func (b *badPort) Start(ctx *Ctx, view *NodeView) []Send {
+	return []Send{{Port: view.Deg, Msg: tmsg{0}}}
+}
+func (b *badPort) Round(*Ctx, *NodeView, []Received) []Send { return nil }
+func (b *badPort) Output() (int, bool)                      { return -1, b.done }
+
+func TestInvalidPortRejected(t *testing.T) {
+	g := gen.Ring(3, rand.New(rand.NewSource(6)), gen.Options{})
+	if _, err := NewNetwork(g).Run(func(*NodeView) Node { return &badPort{} }, nil, Options{}); err == nil {
+		t.Fatal("expected invalid-port error")
+	}
+}
+
+// doubleSend sends twice on port 0 in one round.
+type doubleSend struct{}
+
+func (d *doubleSend) Start(*Ctx, *NodeView) []Send {
+	return []Send{{Port: 0, Msg: tmsg{1}}, {Port: 0, Msg: tmsg{2}}}
+}
+func (d *doubleSend) Round(*Ctx, *NodeView, []Received) []Send { return nil }
+func (d *doubleSend) Output() (int, bool)                      { return -1, false }
+
+func TestDoubleSendRejected(t *testing.T) {
+	g := gen.Ring(3, rand.New(rand.NewSource(7)), gen.Options{})
+	if _, err := NewNetwork(g).Run(func(*NodeView) Node { return &doubleSend{} }, nil, Options{}); err == nil {
+		t.Fatal("expected double-send error")
+	}
+}
+
+// panicky panics in round 1.
+type panicky struct{}
+
+func (p *panicky) Start(*Ctx, *NodeView) []Send { return nil }
+func (p *panicky) Round(*Ctx, *NodeView, []Received) []Send {
+	panic("boom")
+}
+func (p *panicky) Output() (int, bool) { return -1, false }
+
+func TestPanicCaptured(t *testing.T) {
+	g := gen.Ring(3, rand.New(rand.NewSource(8)), gen.Options{})
+	_, err := NewNetwork(g).Run(func(*NodeView) Node { return &panicky{} }, nil, Options{})
+	if err == nil {
+		t.Fatal("expected panic to surface as an error")
+	}
+}
+
+func TestAdviceLengthMismatch(t *testing.T) {
+	g := gen.Ring(3, rand.New(rand.NewSource(9)), gen.Options{})
+	_, err := NewNetwork(g).Run(func(*NodeView) Node { return &silent{} },
+		make([]*bitstring.BitString, 2), Options{})
+	if err == nil {
+		t.Fatal("expected advice length error")
+	}
+}
+
+func TestMaxRounds(t *testing.T) {
+	g := gen.Ring(3, rand.New(rand.NewSource(10)), gen.Options{})
+	_, err := NewNetwork(g).Run(func(*NodeView) Node { return &pulseNode{} }, nil,
+		Options{MaxRounds: 10})
+	if err == nil {
+		t.Fatal("expected MaxRounds error")
+	}
+}
+
+func TestCongestAudit(t *testing.T) {
+	g := gen.Path(6, rand.New(rand.NewSource(11)), gen.Options{})
+	adv := bfsAdvice(6, 0)
+	// tmsg costs IDBits = 3 bits on this graph; budget 2 flags every
+	// message, budget 3 flags none.
+	res, err := NewNetwork(g).Run(newBFSNode, adv, Options{CongestB: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CongestViolations != res.Messages {
+		t.Fatalf("violations %d, want all %d messages", res.CongestViolations, res.Messages)
+	}
+	res, err = NewNetwork(g).Run(newBFSNode, adv, Options{CongestB: NewCostModel(g).IDBits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CongestViolations != 0 {
+		t.Fatalf("violations %d, want 0", res.CongestViolations)
+	}
+}
+
+func TestDropEvery(t *testing.T) {
+	g := gen.Complete(6, rand.New(rand.NewSource(12)), gen.Options{})
+	adv := bfsAdvice(6, 0)
+	clean, err := NewNetwork(g).Run(newBFSNode, adv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := NewNetwork(g).Run(newBFSNode, adv, Options{DropEvery: 2, MaxRounds: 50})
+	if err != nil {
+		return // starvation is an acceptable failure mode
+	}
+	if lossy.Dropped == 0 {
+		t.Fatal("DropEvery=2 dropped nothing")
+	}
+	if lossy.Messages+lossy.Dropped < clean.Messages/2 {
+		t.Fatalf("accounting off: delivered %d + dropped %d vs clean %d",
+			lossy.Messages, lossy.Dropped, clean.Messages)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	g := graph.NewBuilder(3).
+		AddEdge(0, 1, 1000).
+		AddEdge(1, 2, 1).
+		MustBuild()
+	cm := NewCostModel(g)
+	if cm.IDBits != 2 { // IDs 1..3
+		t.Fatalf("IDBits = %d", cm.IDBits)
+	}
+	if cm.PortBits != 1 { // max degree 2
+		t.Fatalf("PortBits = %d", cm.PortBits)
+	}
+	if cm.WeightBits != 10 { // 1000 < 1024
+		t.Fatalf("WeightBits = %d", cm.WeightBits)
+	}
+}
+
+func TestNodeViewContents(t *testing.T) {
+	g := graph.NewBuilder(2).AddEdge(0, 1, 42).MustBuild()
+	var got *NodeView
+	factory := func(view *NodeView) Node {
+		if view.ID == 1 {
+			got = view
+		}
+		return &silent{}
+	}
+	if _, err := NewNetwork(g).Run(factory, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("factory never saw node with ID 1")
+	}
+	if got.N != 2 || got.Deg != 1 || got.PortW[0] != 42 {
+		t.Fatalf("view = %+v", got)
+	}
+	if got.Advice == nil || got.Advice.Len() != 0 {
+		t.Fatal("nil advice should surface as an empty string")
+	}
+}
+
+func BenchmarkEngineBFS(b *testing.B) {
+	g := gen.RandomConnected(2000, 8000, rand.New(rand.NewSource(1)), gen.Options{})
+	adv := bfsAdvice(g.N(), 0)
+	nw := NewNetwork(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nw.Run(newBFSNode, adv, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package unionfind implements a disjoint-set forest with union by size
+// and path compression. It is the fragment bookkeeping substrate for the
+// Kruskal reference algorithm and the Borůvka phase decomposition.
+package unionfind
+
+import "fmt"
+
+// DSU is a disjoint-set union over elements 0..n-1. The zero value is
+// unusable; create one with New.
+type DSU struct {
+	parent []int
+	size   []int
+	sets   int
+}
+
+// New returns a DSU with n singleton sets.
+func New(n int) *DSU {
+	if n < 0 {
+		panic(fmt.Sprintf("unionfind: negative size %d", n))
+	}
+	d := &DSU{parent: make([]int, n), size: make([]int, n), sets: n}
+	for i := range d.parent {
+		d.parent[i] = i
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Len returns the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }
+
+// Find returns the canonical representative of x's set.
+func (d *DSU) Find(x int) int {
+	root := x
+	for d.parent[root] != root {
+		root = d.parent[root]
+	}
+	for d.parent[x] != root {
+		d.parent[x], x = root, d.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets of a and b. It returns true if they were distinct.
+func (d *DSU) Union(a, b int) bool {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return false
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
+	d.sets--
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (d *DSU) Same(a, b int) bool { return d.Find(a) == d.Find(b) }
+
+// SizeOf returns the size of x's set.
+func (d *DSU) SizeOf(x int) int { return d.size[d.Find(x)] }
+
+// Groups returns the members of every set, each group sorted ascending and
+// the groups sorted by their smallest member. Intended for tests and for
+// snapshotting fragments between Borůvka phases.
+func (d *DSU) Groups() [][]int {
+	byRoot := make(map[int][]int)
+	for i := 0; i < len(d.parent); i++ {
+		r := d.Find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	var groups [][]int
+	seen := make(map[int]bool)
+	// Members were appended in increasing index order, so each group is
+	// already sorted and group[0] is its smallest member; visiting elements
+	// in increasing order therefore emits groups by smallest member.
+	for i := 0; i < len(d.parent); i++ {
+		r := d.Find(i)
+		if !seen[r] {
+			seen[r] = true
+			groups = append(groups, byRoot[r])
+		}
+	}
+	return groups
+}

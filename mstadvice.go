@@ -1,0 +1,200 @@
+// Package mstadvice is a Go reproduction of "Local MST Computation with
+// Short Advice" by Pierre Fraigniaud, Amos Korman and Emmanuelle Lebhar
+// (SPAA 2007): distributed minimum-spanning-tree computation where an
+// all-seeing oracle hands every node a few bits of advice, traded against
+// the number of synchronous communication rounds.
+//
+// The package is a facade over the internal implementation. It exposes:
+//
+//   - the network model: weighted, port-numbered graphs (Graph, Builder)
+//     and generators for the experiment families (Gen* functions);
+//   - the advising-scheme framework (Scheme, Run, Result) and the five
+//     schemes: Trivial (⌈log n⌉ bits, 0 rounds), OneRound (constant
+//     average advice, 1 round), ConstantAdvice (the paper's main result:
+//     12 bits, Θ(log n) rounds), and the no-advice baselines LocalGather
+//     (Θ(D) rounds, huge messages) and NoAdvice (GHS-style distributed
+//     Borůvka);
+//   - the Theorem 1 lower-bound machinery (BuildGn, NewLowerBoundFamily).
+//
+// See README.md for a tour, DESIGN.md for the architecture and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package mstadvice
+
+import (
+	"math/rand"
+
+	"mstadvice/internal/advice"
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/core"
+	"mstadvice/internal/graph"
+	"mstadvice/internal/graph/gen"
+	"mstadvice/internal/lowerbound"
+	"mstadvice/internal/schemes/localgather"
+	"mstadvice/internal/schemes/noadvice"
+	"mstadvice/internal/schemes/oneround"
+	"mstadvice/internal/schemes/pipeline"
+	"mstadvice/internal/schemes/trivial"
+	"mstadvice/internal/sim"
+	"mstadvice/internal/verifylabel"
+)
+
+// Graph model re-exports.
+type (
+	// Graph is an immutable weighted simple graph with per-node port
+	// numbering — the network model of the paper.
+	Graph = graph.Graph
+	// Builder assembles a Graph edge by edge.
+	Builder = graph.Builder
+	// NodeID indexes nodes densely (0..N-1).
+	NodeID = graph.NodeID
+	// EdgeID indexes edges densely (0..M-1).
+	EdgeID = graph.EdgeID
+	// Weight is an edge weight.
+	Weight = graph.Weight
+	// BitString is an advice payload.
+	BitString = bitstring.BitString
+)
+
+// NewBuilder creates a builder for a graph with n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// Framework re-exports.
+type (
+	// Scheme is an (m, t)-advising scheme: a centralized oracle plus a
+	// distributed decoder.
+	Scheme = advice.Scheme
+	// Result is the measured outcome of one run: advice profile, rounds,
+	// message statistics and verification against the reference MST.
+	Result = advice.Result
+	// RunOptions configure the simulator.
+	RunOptions = sim.Options
+)
+
+// Run executes a scheme end to end on g with the designated root: oracle,
+// synchronous decoder simulation, and verification. Self-timed schemes
+// (NoAdvice, ConstantAdviceAdaptive) get the quiescence synchronizer
+// enabled automatically.
+func Run(s Scheme, g *Graph, root NodeID, opt RunOptions) (*Result, error) {
+	return advice.Run(s, g, root, opt)
+}
+
+// Trivial returns the (⌈log n⌉, 0)-advising scheme.
+func Trivial() Scheme { return trivial.Scheme{} }
+
+// OneRound returns Theorem 2's (O(log² n), 1)-scheme with constant
+// average advice size.
+func OneRound() Scheme { return oneround.Scheme{} }
+
+// ConstantAdvice returns Theorem 3's (12, O(log n))-scheme — the paper's
+// main contribution.
+func ConstantAdvice() Scheme { return core.Scheme{} }
+
+// ConstantAdviceAdaptive returns the pulse-driven variant of the Theorem 3
+// decoder (same oracle and advice; self-timed phases instead of the fixed
+// worst-case schedule). An extension beyond the paper; see EXPERIMENTS.md
+// E4b.
+func ConstantAdviceAdaptive() Scheme { return core.Scheme{Adaptive: true} }
+
+// LocalGather returns the no-advice (0, D+1) LOCAL-model baseline.
+func LocalGather() Scheme { return localgather.Scheme{} }
+
+// NoAdvice returns the no-advice GHS-style distributed Borůvka baseline.
+func NoAdvice() Scheme { return noadvice.Scheme{} }
+
+// Pipeline returns the no-advice upcast baseline (leader election + BFS
+// tree + filtered edge pipelining): Θ(n + D) rounds with CONGEST-size
+// messages.
+func Pipeline() Scheme { return pipeline.Scheme{} }
+
+// Schemes returns all schemes in increasing round order.
+func Schemes() []Scheme {
+	return []Scheme{Trivial(), OneRound(), ConstantAdvice(), ConstantAdviceAdaptive(), LocalGather(), NoAdvice(), Pipeline()}
+}
+
+// SchemeByName looks a scheme up by its Name.
+func SchemeByName(name string) (Scheme, bool) {
+	for _, s := range Schemes() {
+		if s.Name() == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// ConstantAdviceRounds returns the exact round count of the Theorem 3
+// decoder on n nodes and the paper's 9⌈log n⌉ bound.
+func ConstantAdviceRounds(n int) (exact, paper int) { return core.RoundBound(n) }
+
+// Generator re-exports. All take an explicit random source and reproduce
+// the same graph for the same seed.
+type (
+	// GenOptions configure weight assignment and port/ID shuffling.
+	GenOptions = gen.Options
+	// WeightMode selects distinct, random or unit edge weights.
+	WeightMode = gen.WeightMode
+)
+
+// Weight modes.
+const (
+	WeightsDistinct = gen.WeightsDistinct
+	WeightsRandom   = gen.WeightsRandom
+	WeightsUnit     = gen.WeightsUnit
+)
+
+// GenPath returns the n-node path.
+func GenPath(n int, rng *rand.Rand, opt GenOptions) *Graph { return gen.Path(n, rng, opt) }
+
+// GenRing returns the n-node cycle.
+func GenRing(n int, rng *rand.Rand, opt GenOptions) *Graph { return gen.Ring(n, rng, opt) }
+
+// GenGrid returns the rows x cols grid.
+func GenGrid(rows, cols int, rng *rand.Rand, opt GenOptions) *Graph {
+	return gen.Grid(rows, cols, rng, opt)
+}
+
+// GenComplete returns K_n.
+func GenComplete(n int, rng *rand.Rand, opt GenOptions) *Graph { return gen.Complete(n, rng, opt) }
+
+// GenRandomConnected returns a connected graph with n nodes and about m
+// edges.
+func GenRandomConnected(n, m int, rng *rand.Rand, opt GenOptions) *Graph {
+	return gen.RandomConnected(n, m, rng, opt)
+}
+
+// GenExpander returns the union of k random Hamiltonian cycles.
+func GenExpander(n, k int, rng *rand.Rand, opt GenOptions) *Graph {
+	return gen.Expander(n, k, rng, opt)
+}
+
+// Lower-bound re-exports (Theorem 1).
+type (
+	// Gn is the paper's Figure 1 graph.
+	Gn = lowerbound.Gn
+	// LowerBoundFamily is the indistinguishable instance family at one
+	// spine node of G_n.
+	LowerBoundFamily = lowerbound.Family
+)
+
+// BuildGn constructs the lower-bound graph G_n on 2n nodes.
+func BuildGn(n int) (*Gn, error) { return lowerbound.BuildGn(n, 0) }
+
+// NewLowerBoundFamily builds the k = n-i instance family at spine node
+// u_i of G_n.
+func NewLowerBoundFamily(n, i int) (*LowerBoundFamily, error) { return lowerbound.NewFamily(n, i) }
+
+// TreeLabel is a proof-labeling certificate (root identifier, depth) for
+// one node of a claimed rooted spanning tree.
+type TreeLabel = verifylabel.Label
+
+// AssignTreeLabels computes the certificates for a claimed parent-port
+// output (validating that it is a spanning tree).
+func AssignTreeLabels(g *Graph, parentPorts []int) ([]TreeLabel, error) {
+	return verifylabel.Assign(g, parentPorts)
+}
+
+// VerifyTreeLabels runs the one-round distributed verifier: every node
+// exchanges labels with its neighbours once and checks local consistency.
+// It returns the global verdict and the per-node ones.
+func VerifyTreeLabels(g *Graph, parentPorts []int, labels []TreeLabel) (bool, []bool, error) {
+	return verifylabel.Check(g, parentPorts, labels)
+}
