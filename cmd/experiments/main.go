@@ -1,12 +1,20 @@
 // Command experiments regenerates the reproduction's tables and figures
-// (E1..E8, see DESIGN.md §3 and EXPERIMENTS.md):
+// (E1..E10, see DESIGN.md §3 and EXPERIMENTS.md):
 //
-//	experiments                # run everything at the default sizes
-//	experiments -e e4,e5       # only the main theorem and the separation
-//	experiments -sizes 16,128  # custom n sweep
+//	experiments                       # run everything at the default sizes
+//	experiments -e e4,e5              # only the main theorem and the separation
+//	experiments -sizes 16,128         # custom n sweep
+//	experiments -bench-sim BENCH_sim.json
+//	                                  # engine micro-benchmark, machine-readable
+//
+// With -bench-sim the command skips the tables, runs the round-engine
+// benchmark (main scheme, sequential and parallel, at -sizes or the
+// default engine sweep) and writes the results as JSON, so successive
+// revisions leave a comparable perf trajectory in version control.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,10 +26,11 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("e", "all", "comma-separated experiment ids (e1..e8) or 'all'")
+		which    = flag.String("e", "all", "comma-separated experiment ids (e1..e10) or 'all'")
 		sizes    = flag.String("sizes", "", "comma-separated n sweep (default 16,64,256,1024)")
 		families = flag.String("families", "", "comma-separated families (default path,grid,random,expander)")
 		seed     = flag.Int64("seed", 1, "generator seed")
+		benchSim = flag.String("bench-sim", "", "run the engine benchmark and write JSON to this file instead of tables")
 	)
 	flag.Parse()
 
@@ -37,6 +46,20 @@ func main() {
 	}
 	if *families != "" {
 		cfg.Families = strings.Split(*families, ",")
+	}
+
+	if *benchSim != "" {
+		results := experiments.SimBench(cfg)
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fail("%v", err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*benchSim, blob, 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("wrote %d benchmark rows to %s\n", len(results), *benchSim)
+		return
 	}
 
 	ids := experiments.IDs()

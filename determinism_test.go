@@ -1,0 +1,46 @@
+package mstadvice
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestSchemesDeterministicAcrossWorkers asserts the engine's central
+// contract after the slot-router rewrite: for every scheme, running with
+// one worker and with a full worker pool produces identical Results —
+// rounds, message and bit accounting, per-round statistics, and outputs.
+func TestSchemesDeterministicAcrossWorkers(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *Graph
+	}{
+		{"random", GenRandomConnected(60, 150, rand.New(rand.NewSource(21)), GenOptions{})},
+		{"grid", GenGrid(6, 7, rand.New(rand.NewSource(22)), GenOptions{})},
+		{"expander", GenExpander(48, 3, rand.New(rand.NewSource(23)), GenOptions{})},
+	}
+	full := runtime.GOMAXPROCS(0)
+	if full < 2 {
+		full = 2
+	}
+	for _, tc := range graphs {
+		for _, s := range Schemes() {
+			seq, err := Run(s, tc.g, 0, RunOptions{Workers: 1, RecordRoundStats: true})
+			if err != nil {
+				t.Fatalf("%s/%s workers=1: %v", tc.name, s.Name(), err)
+			}
+			if !seq.Verified {
+				t.Fatalf("%s/%s: not verified: %v", tc.name, s.Name(), seq.VerifyErr)
+			}
+			par, err := Run(s, tc.g, 0, RunOptions{Workers: full, RecordRoundStats: true})
+			if err != nil {
+				t.Fatalf("%s/%s workers=%d: %v", tc.name, s.Name(), full, err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("%s/%s: workers=1 and workers=%d results differ:\nseq: %+v\npar: %+v",
+					tc.name, s.Name(), full, seq, par)
+			}
+		}
+	}
+}

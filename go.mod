@@ -1,0 +1,3 @@
+module mstadvice
+
+go 1.24

@@ -100,6 +100,14 @@ type Decomposition struct {
 	// SelPhase[e] is the phase (1-based) at which tree edge e was selected,
 	// 0 for non-tree edges.
 	SelPhase []int
+
+	// fragmentBFS scratch, reused across fragments. Indexed by NodeID and
+	// reset per fragment by walking the fragment's own node list, so reuse
+	// costs O(|F|), not O(n).
+	bfsStart []int32        // start of a parent's child segment in bfsKids
+	bfsFill  []int32        // next free index in that segment
+	bfsCnt   []int32        // number of in-fragment children
+	bfsKids  []graph.NodeID // child segments, each sorted by (weight, port)
 }
 
 // NumPhases returns the number of phases executed.
@@ -351,35 +359,71 @@ func (d *Decomposition) annotate(frags []Fragment, fragOf []FragID) {
 // in T_F ... lower index first".
 func (d *Decomposition) fragmentBFS(f *Fragment, fragOf []FragID) []graph.NodeID {
 	g := d.G
-	children := make(map[graph.NodeID][]graph.NodeID)
-	for _, u := range f.Nodes {
+	if d.bfsCnt == nil {
+		n := g.N()
+		d.bfsStart = make([]int32, n)
+		d.bfsFill = make([]int32, n)
+		d.bfsCnt = make([]int32, n)
+	}
+	start, fill, cnt := d.bfsStart, d.bfsFill, d.bfsCnt
+	// inFragParent returns u's tree parent if it lies in this fragment.
+	inFragParent := func(u graph.NodeID) (graph.NodeID, graph.EdgeID, bool) {
 		pe := d.ParentEdge[u]
 		if pe == -1 {
-			continue
+			return 0, 0, false
 		}
 		p := g.Other(pe, u)
-		if fragOf[p] == fragOf[u] {
-			children[p] = append(children[p], u)
+		return p, pe, fragOf[p] == fragOf[u]
+	}
+	total := int32(0)
+	for _, u := range f.Nodes {
+		cnt[u] = 0
+	}
+	for _, u := range f.Nodes {
+		if p, _, ok := inFragParent(u); ok {
+			cnt[p]++
+			total++
 		}
 	}
-	for p := range children {
-		kids := children[p]
-		sort.Slice(kids, func(a, b int) bool {
-			ea, eb := d.ParentEdge[kids[a]], d.ParentEdge[kids[b]]
-			wa, wb := g.Weight(ea), g.Weight(eb)
-			if wa != wb {
-				return wa < wb
-			}
-			return g.PortAt(ea, p) < g.PortAt(eb, p)
-		})
+	if cap(d.bfsKids) < int(total) {
+		d.bfsKids = make([]graph.NodeID, total)
 	}
+	kids := d.bfsKids[:total]
+	off := int32(0)
+	for _, u := range f.Nodes {
+		start[u], fill[u] = off, off
+		off += cnt[u]
+	}
+	// Place every child into its parent's segment, insertion-sorting by
+	// (edge weight, port at the parent) — the key is strict because
+	// siblings hang off distinct parent ports. Segments are tiny, so the
+	// quadratic insertion beats sort's allocations.
+	for _, u := range f.Nodes {
+		p, pe, ok := inFragParent(u)
+		if !ok {
+			continue
+		}
+		w, pt := g.Weight(pe), g.PortAt(pe, p)
+		i := fill[p]
+		fill[p]++
+		for i > start[p] {
+			prevEdge := d.ParentEdge[kids[i-1]]
+			pw, ppt := g.Weight(prevEdge), g.PortAt(prevEdge, p)
+			if pw < w || (pw == w && ppt < pt) {
+				break
+			}
+			kids[i] = kids[i-1]
+			i--
+		}
+		kids[i] = u
+	}
+	// The order slice doubles as the BFS queue: entry qi is expanded after
+	// it has been appended.
 	order := make([]graph.NodeID, 0, len(f.Nodes))
-	queue := []graph.NodeID{f.Root}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		order = append(order, u)
-		queue = append(queue, children[u]...)
+	order = append(order, f.Root)
+	for qi := 0; qi < len(order); qi++ {
+		u := order[qi]
+		order = append(order, kids[start[u]:start[u]+cnt[u]]...)
 	}
 	if len(order) != len(f.Nodes) {
 		panic(fmt.Sprintf("boruvka: fragment BFS visited %d of %d nodes (internal error)", len(order), len(f.Nodes)))

@@ -81,9 +81,9 @@ func (a *adaptiveNode) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Recei
 	} else if a.lastPulse > 0 {
 		a.stageRound++
 	}
-	var sends []sim.Send
+	sends := a.sendBuf[:0]
 	for _, rcv := range inbox {
-		sends = append(sends, a.receive(view, rcv)...)
+		sends = a.receive(view, rcv, sends)
 	}
 	phase, stage := a.stageOf()
 	switch stage {
@@ -91,12 +91,12 @@ func (a *adaptiveNode) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Recei
 		quota := 1 << uint(phase)
 		switch {
 		case fresh:
-			sends = append(sends, a.windowStart(view)...)
+			sends = a.windowStart(view, sends)
 		case a.stageRound == 1:
 			a.beginPhaseStream(view)
-			sends = append(sends, a.streamRecs(quota, view)...)
+			sends = a.streamRecs(quota, view, sends)
 		default:
-			sends = append(sends, a.streamRecs(quota, view)...)
+			sends = a.streamRecs(quota, view, sends)
 		}
 
 	case stageBcast:
@@ -109,25 +109,25 @@ func (a *adaptiveNode) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Recei
 				a.beginPhaseStream(view)
 			}
 			if a.qualifiesActive(phase, view) {
-				sends = append(sends, a.decodeAndBroadcast(phase, view)...)
+				sends = a.decodeAndBroadcast(phase, view, sends)
 			}
 		}
 
 	case stageChoose:
 		if fresh && a.chooser {
-			sends = append(sends, a.choose(view)...)
+			sends = a.choose(view, sends)
 		}
 
 	case stageFinalCol:
 		width := a.sched.Width
 		switch {
 		case fresh:
-			sends = append(sends, a.windowStart(view)...)
+			sends = a.windowStart(view, sends)
 		case a.stageRound == 1:
 			a.beginFinalStream(view)
-			sends = append(sends, a.streamFinal(width, view)...)
+			sends = a.streamFinal(width, view, sends)
 		default:
-			sends = append(sends, a.streamFinal(width, view)...)
+			sends = a.streamFinal(width, view, sends)
 		}
 
 	case stageFinalDec:
@@ -141,6 +141,7 @@ func (a *adaptiveNode) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Recei
 			a.done = true
 		}
 	}
+	a.sendBuf = sends
 	return sends
 }
 

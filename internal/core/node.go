@@ -22,20 +22,41 @@ type node struct {
 
 	// Fragment tree state.
 	parentPort int
-	childPorts map[int]bool
 
 	// Advice cursor: number of packed bits consumed (the packed region is
 	// advice[1:]; bit 0 is the final-stage bit).
 	cons int
 
-	// Per-window state.
-	sub     *subtree
-	sent    int
-	levelOf map[int]int
-	myLevel int
-	haveLvl bool
-	chooser bool
-	chUp    bool
+	// Per-window, per-port state, generation-stamped so windowStart resets
+	// it in O(1) instead of reallocating maps: port p is a child iff
+	// childStamp[p] == wnum, and reported level level[p] is valid iff
+	// levelStamp[p] == wnum.
+	wnum       uint32
+	childStamp []uint32
+	nkids      int
+	levelStamp []uint32
+	level      []int
+
+	// Per-window state. subStore is the one subtree reused by every
+	// window; sub points at it while a window's collect is live.
+	sub      *subtree
+	subStore subtree
+	sent     int
+	myLevel  int
+	haveLvl  bool
+	chooser  bool
+	chUp     bool
+
+	// sendBuf backs the outbox returned from Round. The engine consumes
+	// the outbox before the next compute phase, so one buffer per node
+	// suffices. recBufs/finalBufs back the streamed record batches; a
+	// batch is in flight for exactly one round (the receiver copies the
+	// records out on delivery), so two alternating buffers suffice.
+	sendBuf   []sim.Send
+	recBufs   [2][]rec
+	recFlip   int
+	finalBufs [2][]finalRec
+	finalFlip int
 
 	done bool
 }
@@ -46,9 +67,22 @@ func newNode(view *sim.NodeView, cap int) *node {
 		nbrID:      make([]int64, view.Deg),
 		nbrPort:    make([]int, view.Deg),
 		parentPort: -1,
-		childPorts: make(map[int]bool),
-		levelOf:    make(map[int]int),
+		wnum:       1, // stamps start at zero, so no port is a child yet
+		childStamp: make([]uint32, view.Deg),
+		levelStamp: make([]uint32, view.Deg),
+		level:      make([]int, view.Deg),
 	}
+}
+
+// isChild reports whether port p announced as a child this window.
+func (n *node) isChild(p int) bool { return n.childStamp[p] == n.wnum }
+
+// levelAt returns the fragment level reported on port p this window.
+func (n *node) levelAt(p int) (int, bool) {
+	if n.levelStamp[p] == n.wnum {
+		return n.level[p], true
+	}
+	return 0, false
 }
 
 func (n *node) Start(ctx *sim.Ctx, view *sim.NodeView) []sim.Send {
@@ -67,11 +101,12 @@ func (n *node) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Received) []s
 	if n.done {
 		return nil
 	}
-	var sends []sim.Send
+	sends := n.sendBuf[:0]
 	for _, rcv := range inbox {
-		sends = append(sends, n.receive(view, rcv)...)
+		sends = n.receive(view, rcv, sends)
 	}
-	sends = append(sends, n.slotActions(ctx.Round, view)...)
+	sends = n.slotActions(ctx.Round, view, sends)
+	n.sendBuf = sends
 	if ctx.Round >= n.sched.Total() {
 		n.done = true
 	}
@@ -82,23 +117,28 @@ func (n *node) Output() (int, bool) { return n.parentPort, n.done }
 
 // --- inbox handling ---
 
-func (n *node) receive(view *sim.NodeView, rcv sim.Received) []sim.Send {
+// receive processes one delivered message, appending any resulting sends.
+func (n *node) receive(view *sim.NodeView, rcv sim.Received, sends []sim.Send) []sim.Send {
 	switch m := rcv.Msg.(type) {
 	case idMsg:
 		n.nbrID[rcv.Port] = m.ID
 		n.nbrPort[rcv.Port] = m.Port
-		return nil
+		return sends
 
 	case announceMsg:
-		n.childPorts[rcv.Port] = true
-		return nil
+		if n.childStamp[rcv.Port] != n.wnum {
+			n.childStamp[rcv.Port] = n.wnum
+			n.nkids++
+		}
+		return sends
 
 	case recMsg:
 		if n.sub == nil {
 			panic("core: record before window start")
 		}
 		for _, r := range m.Recs {
-			t := &treeNode{
+			t := n.sub.alloc()
+			*t = treeNode{
 				id: r.ID, parentID: r.ParentID, w: r.W, portAtParent: r.PortAtParent,
 				childCount: r.ChildCount, hop: r.Hop, bits: r.Bits,
 			}
@@ -110,29 +150,30 @@ func (n *node) receive(view *sim.NodeView, rcv sim.Received) []sim.Send {
 			}
 			n.sub.add(t)
 		}
-		return nil
+		return sends
 
 	case bcastMsg:
-		n.levelOf[rcv.Port] = m.Level
-		return n.applyBroadcast(view, m)
+		n.setLevel(rcv.Port, m.Level)
+		return n.applyBroadcast(view, m, sends)
 
 	case levelMsg:
-		n.levelOf[rcv.Port] = m.Level
-		return nil
+		n.setLevel(rcv.Port, m.Level)
+		return sends
 
 	case adoptMsg:
 		if n.parentPort != -1 && n.parentPort != rcv.Port {
 			panic(fmt.Sprintf("core: adopt on port %d but parent already %d", rcv.Port, n.parentPort))
 		}
 		n.parentPort = rcv.Port
-		return nil
+		return sends
 
 	case finalRecMsg:
 		if n.sub == nil {
 			panic("core: final record before window start")
 		}
 		for _, r := range m.Recs {
-			t := &treeNode{
+			t := n.sub.alloc()
+			*t = treeNode{
 				id: r.ID, parentID: r.ParentID, w: r.W, portAtParent: r.PortAtParent,
 				childCount: -1, hop: r.Hop, bit: r.Bit,
 			}
@@ -143,11 +184,17 @@ func (n *node) receive(view *sim.NodeView, rcv sim.Received) []sim.Send {
 			}
 			n.sub.add(t)
 		}
-		return nil
+		return sends
 
 	default:
 		panic(fmt.Sprintf("core: unexpected message %T", rcv.Msg))
 	}
+}
+
+// setLevel records the fragment level reported on port p this window.
+func (n *node) setLevel(p, lvl int) {
+	n.levelStamp[p] = n.wnum
+	n.level[p] = lvl
 }
 
 // annotatePending marks a record whose parent-side fields are filled by
@@ -160,7 +207,7 @@ const annotatePending int64 = -1 << 62
 // applyBroadcast processes A(F): records the fragment level, the chooser
 // identity, and this node's consumption update, then relays down the tree
 // and reports its level on every non-child edge.
-func (n *node) applyBroadcast(view *sim.NodeView, m bcastMsg) []sim.Send {
+func (n *node) applyBroadcast(view *sim.NodeView, m bcastMsg, sends []sim.Send) []sim.Send {
 	n.myLevel = m.Level
 	n.haveLvl = true
 	if m.ChooserID == view.ID {
@@ -175,9 +222,8 @@ func (n *node) applyBroadcast(view *sim.NodeView, m bcastMsg) []sim.Send {
 			}
 		}
 	}
-	var sends []sim.Send
 	for p := 0; p < view.Deg; p++ {
-		if n.childPorts[p] {
+		if n.isChild(p) {
 			sends = append(sends, sim.Send{Port: p, Msg: m})
 		} else if p != n.parentPort {
 			sends = append(sends, sim.Send{Port: p, Msg: levelMsg{Level: m.Level}})
@@ -188,65 +234,71 @@ func (n *node) applyBroadcast(view *sim.NodeView, m bcastMsg) []sim.Send {
 
 // --- per-slot actions ---
 
-func (n *node) slotActions(round int, view *sim.NodeView) []sim.Send {
+func (n *node) slotActions(round int, view *sim.NodeView, sends []sim.Send) []sim.Send {
 	kind, phase, slot := n.sched.Locate(round)
 	switch kind {
 	case KindPhase:
-		return n.phaseSlot(phase, slot, view)
+		return n.phaseSlot(phase, slot, view, sends)
 	case KindFinal:
-		return n.finalSlot(slot, view)
+		return n.finalSlot(slot, view, sends)
 	default:
-		return nil
+		return sends
 	}
 }
 
-func (n *node) phaseSlot(i, slot int, view *sim.NodeView) []sim.Send {
+func (n *node) phaseSlot(i, slot int, view *sim.NodeView, sends []sim.Send) []sim.Send {
 	quota := 1 << uint(i)
 	switch {
 	case slot == 0:
-		return n.windowStart(view)
+		return n.windowStart(view, sends)
 
 	case slot == 1:
 		// Children are known (announces processed this round); create our
 		// own record and begin streaming.
 		n.beginPhaseStream(view)
-		return n.streamRecs(quota, view)
+		return n.streamRecs(quota, view, sends)
 
 	case slot < ConvergeEnd(i):
-		return n.streamRecs(quota, view)
+		return n.streamRecs(quota, view, sends)
 
 	case slot == ConvergeEnd(i):
 		if !n.qualifiesActive(i, view) {
-			return nil // non-root, passive fragment, or the spanning one
+			return sends // non-root, passive fragment, or the spanning one
 		}
-		return n.decodeAndBroadcast(i, view)
+		return n.decodeAndBroadcast(i, view, sends)
 
 	case slot == ChooseSlot(i):
 		if !n.chooser {
-			return nil
+			return sends
 		}
-		return n.choose(view)
+		return n.choose(view, sends)
 	}
-	return nil
+	return sends
 }
 
 // beginPhaseStream creates this node's own convergecast record once its
 // children are known (one round after the window's announce).
 func (n *node) beginPhaseStream(view *sim.NodeView) {
-	own := &treeNode{
+	n.subStore.pool = n.subStore.pool[:0]
+	own := n.subStore.alloc()
+	*own = treeNode{
 		id:         view.ID,
-		childCount: len(n.childPorts),
+		childCount: n.nkids,
 		bits:       view.Advice.Slice(minInt(1+n.cons, view.Advice.Len()), view.Advice.Len()),
 	}
-	n.sub = newSubtree(own)
+	n.subStore.reset(own)
+	n.sub = &n.subStore
 	n.sent = 0
 }
 
 // beginFinalStream is beginPhaseStream for the final collect: the record
 // carries the node's single final-stage advice bit.
 func (n *node) beginFinalStream(view *sim.NodeView) {
-	own := &treeNode{id: view.ID, childCount: -1, bit: view.Advice.Bit(0)}
-	n.sub = newSubtree(own)
+	n.subStore.pool = n.subStore.pool[:0]
+	own := n.subStore.alloc()
+	*own = treeNode{id: view.ID, childCount: -1, bit: view.Advice.Bit(0)}
+	n.subStore.reset(own)
+	n.sub = &n.subStore
 	n.sent = 0
 }
 
@@ -261,30 +313,35 @@ func (n *node) qualifiesActive(i int, view *sim.NodeView) bool {
 }
 
 // windowStart resets per-window state and announces to the parent.
-func (n *node) windowStart(view *sim.NodeView) []sim.Send {
-	n.childPorts = make(map[int]bool)
-	n.levelOf = make(map[int]int)
+// Bumping the window stamp invalidates all per-port child and level
+// entries at once.
+func (n *node) windowStart(view *sim.NodeView, sends []sim.Send) []sim.Send {
+	n.wnum++
+	n.nkids = 0
 	n.haveLvl = false
 	n.chooser = false
 	n.sub = nil
 	n.sent = 0
 	if n.parentPort != -1 {
-		return []sim.Send{{Port: n.parentPort, Msg: announceMsg{}}}
+		sends = append(sends, sim.Send{Port: n.parentPort, Msg: announceMsg{}})
 	}
-	return nil
+	return sends
 }
 
 // streamRecs forwards the unsent part of the subtree's BFS prefix to the
-// fragment parent (roots integrate but do not forward).
-func (n *node) streamRecs(quota int, view *sim.NodeView) []sim.Send {
+// fragment parent (roots integrate but do not forward). The record batch
+// comes from one of two alternating buffers: the batch sent in round r is
+// copied out by the receiver in round r+1, while this node is already
+// filling the other buffer, and is free again by round r+2.
+func (n *node) streamRecs(quota int, view *sim.NodeView, sends []sim.Send) []sim.Send {
 	if n.parentPort == -1 || n.sub == nil {
-		return nil
+		return sends
 	}
 	order := n.sub.bfs(quota)
 	if n.sent >= len(order) {
-		return nil
+		return sends
 	}
-	var recs []rec
+	recs := n.recBufs[n.recFlip][:0]
 	for _, id := range order[n.sent:] {
 		t := n.sub.nodes[id]
 		if t.hop+1 > quota {
@@ -301,15 +358,17 @@ func (n *node) streamRecs(quota int, view *sim.NodeView) []sim.Send {
 	}
 	n.sent = len(order)
 	if len(recs) == 0 {
-		return nil
+		return sends
 	}
-	return []sim.Send{{Port: n.parentPort, Msg: recMsg{Recs: recs}}}
+	n.recBufs[n.recFlip] = recs
+	n.recFlip ^= 1
+	return append(sends, sim.Send{Port: n.parentPort, Msg: recMsg{Recs: recs}})
 }
 
 // decodeAndBroadcast runs at the root of an active fragment: reassemble
 // A(F) from the streamed bits in BFS order, compute the per-node
 // consumption update, apply it locally and broadcast.
-func (n *node) decodeAndBroadcast(i int, view *sim.NodeView) []sim.Send {
+func (n *node) decodeAndBroadcast(i int, view *sim.NodeView, sends []sim.Send) []sim.Send {
 	need := i + 2
 	order := n.sub.bfs(0)
 	var bits []bool
@@ -349,7 +408,7 @@ func (n *node) decodeAndBroadcast(i int, view *sim.NodeView) []sim.Send {
 		panic(fmt.Sprintf("core: chooser index %d out of range (fragment size %d)", j, len(order)))
 	}
 	m := bcastMsg{Up: up, Level: level, ChooserID: order[j], Cons: cons}
-	return n.applyBroadcast(view, m)
+	return n.applyBroadcast(view, m, sends)
 }
 
 // choose runs at the choosing node: select the minimum-key incident edge
@@ -357,17 +416,17 @@ func (n *node) decodeAndBroadcast(i int, view *sim.NodeView) []sim.Send {
 // parent, or a neighbour that reported our own level this phase), then
 // either recognise it as our parent edge (up) or adopt the far endpoint
 // (down).
-func (n *node) choose(view *sim.NodeView) []sim.Send {
+func (n *node) choose(view *sim.NodeView, sends []sim.Send) []sim.Send {
 	if !n.haveLvl {
 		panic("core: chooser without a level")
 	}
 	best := -1
 	var bestKey graph.GlobalKey
 	for p := 0; p < view.Deg; p++ {
-		if p == n.parentPort || n.childPorts[p] {
+		if p == n.parentPort || n.isChild(p) {
 			continue
 		}
-		if lvl, ok := n.levelOf[p]; ok && lvl == n.myLevel {
+		if lvl, ok := n.levelAt(p); ok && lvl == n.myLevel {
 			continue
 		}
 		key := localorder.KeyAt(view.PortW[p], view.ID, p, n.nbrID[p], n.nbrPort[p])
@@ -383,32 +442,32 @@ func (n *node) choose(view *sim.NodeView) []sim.Send {
 			panic("core: up-selection at a non-root chooser")
 		}
 		n.parentPort = best
-		return nil
+		return sends
 	}
-	return []sim.Send{{Port: best, Msg: adoptMsg{}}}
+	return append(sends, sim.Send{Port: best, Msg: adoptMsg{}})
 }
 
 // --- final window ---
 
-func (n *node) finalSlot(slot int, view *sim.NodeView) []sim.Send {
+func (n *node) finalSlot(slot int, view *sim.NodeView, sends []sim.Send) []sim.Send {
 	width := n.sched.Width
 	switch {
 	case slot == 0:
-		return n.windowStart(view)
+		return n.windowStart(view, sends)
 
 	case slot == 1:
 		n.beginFinalStream(view)
-		return n.streamFinal(width, view)
+		return n.streamFinal(width, view, sends)
 
 	case slot <= width:
-		return n.streamFinal(width, view)
+		return n.streamFinal(width, view, sends)
 
 	case slot == n.sched.FinalDecodeSlot():
 		if n.parentPort == -1 {
 			n.decodeFinal(view)
 		}
 	}
-	return nil
+	return sends
 }
 
 // decodeFinal runs at a final-fragment root: reassemble the Width-bit
@@ -436,15 +495,17 @@ func (n *node) decodeFinal(view *sim.NodeView) {
 	n.parentPort = port
 }
 
-func (n *node) streamFinal(width int, view *sim.NodeView) []sim.Send {
+// streamFinal is streamRecs for the final collect, with the same
+// two-buffer reuse discipline.
+func (n *node) streamFinal(width int, view *sim.NodeView, sends []sim.Send) []sim.Send {
 	if n.parentPort == -1 || n.sub == nil {
-		return nil
+		return sends
 	}
 	order := n.sub.bfs(width)
 	if n.sent >= len(order) {
-		return nil
+		return sends
 	}
-	var recs []finalRec
+	recs := n.finalBufs[n.finalFlip][:0]
 	for _, id := range order[n.sent:] {
 		t := n.sub.nodes[id]
 		if t.hop+1 > width {
@@ -461,9 +522,11 @@ func (n *node) streamFinal(width int, view *sim.NodeView) []sim.Send {
 	}
 	n.sent = len(order)
 	if len(recs) == 0 {
-		return nil
+		return sends
 	}
-	return []sim.Send{{Port: n.parentPort, Msg: finalRecMsg{Recs: recs}}}
+	n.finalBufs[n.finalFlip] = recs
+	n.finalFlip ^= 1
+	return append(sends, sim.Send{Port: n.parentPort, Msg: finalRecMsg{Recs: recs}})
 }
 
 func minInt(a, b int) int {

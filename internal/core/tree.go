@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"mstadvice/internal/bitstring"
 	"mstadvice/internal/graph"
 )
@@ -23,28 +21,79 @@ type treeNode struct {
 // subtree incrementally assembles the fragment tree visible below one
 // node, and produces its BFS order (children sorted by (weight, port at
 // parent) — the paper's "lower index first" rule).
+//
+// A subtree is reused across windows via reset: the node map, record pool
+// and order buffer keep their capacity across windows (per-parent child
+// lists are still rebuilt, so reuse removes most but not all steady-state
+// allocation).
 type subtree struct {
 	rootID int64
 	nodes  map[int64]*treeNode
 	kids   map[int64][]int64
+	pool   []treeNode // arena for records; pointers into it live in nodes
+	order  []int64    // memoized BFS order
+	stale  bool       // order must be rebuilt
 }
 
 func newSubtree(root *treeNode) *subtree {
-	s := &subtree{
-		rootID: root.id,
-		nodes:  map[int64]*treeNode{root.id: root},
-		kids:   map[int64][]int64{},
-	}
+	s := &subtree{}
+	s.reset(root)
 	return s
 }
 
-// add inserts a record; it returns false for duplicates.
+// reset clears the subtree for a new window, keeping allocated capacity,
+// and installs the given root record.
+func (s *subtree) reset(root *treeNode) {
+	s.rootID = root.id
+	if s.nodes == nil {
+		s.nodes = make(map[int64]*treeNode)
+		s.kids = make(map[int64][]int64)
+	} else {
+		clear(s.nodes)
+		clear(s.kids)
+	}
+	s.order = s.order[:0]
+	s.stale = true
+	s.nodes[root.id] = root
+}
+
+// alloc hands out a record slot from the pool. The slot may hold stale
+// data from an earlier window; callers must assign every field. Growing
+// the pool may move earlier slots to a new backing array, which is safe:
+// outstanding pointers keep the old array alive and are never compared by
+// address.
+func (s *subtree) alloc() *treeNode {
+	if len(s.pool) < cap(s.pool) {
+		s.pool = s.pool[:len(s.pool)+1]
+	} else {
+		s.pool = append(s.pool, treeNode{})
+	}
+	return &s.pool[len(s.pool)-1]
+}
+
+// add inserts a record; it returns false for duplicates. The child list of
+// the record's parent is kept sorted by (weight, port at parent) — the key
+// is strict because siblings hang off distinct parent ports — so BFS never
+// sorts.
 func (s *subtree) add(n *treeNode) bool {
 	if _, ok := s.nodes[n.id]; ok {
 		return false
 	}
 	s.nodes[n.id] = n
-	s.kids[n.parentID] = append(s.kids[n.parentID], n.id)
+	ks := s.kids[n.parentID]
+	i := len(ks)
+	for i > 0 {
+		prev := s.nodes[ks[i-1]]
+		if prev.w < n.w || (prev.w == n.w && prev.portAtParent < n.portAtParent) {
+			break
+		}
+		i--
+	}
+	ks = append(ks, 0)
+	copy(ks[i+1:], ks[i:])
+	ks[i] = n.id
+	s.kids[n.parentID] = ks
+	s.stale = true
 	return true
 }
 
@@ -52,34 +101,27 @@ func (s *subtree) size() int { return len(s.nodes) }
 
 // sortedKids returns the children of id ordered by (weight, port at
 // parent) of their connecting edges.
-func (s *subtree) sortedKids(id int64) []int64 {
-	kids := s.kids[id]
-	sort.Slice(kids, func(a, b int) bool {
-		na, nb := s.nodes[kids[a]], s.nodes[kids[b]]
-		if na.w != nb.w {
-			return na.w < nb.w
-		}
-		return na.portAtParent < nb.portAtParent
-	})
-	return kids
-}
+func (s *subtree) sortedKids(id int64) []int64 { return s.kids[id] }
 
 // bfs returns the first limit entries of the subtree's BFS order
-// (limit <= 0 means no limit). The order only ever grows at the end as
-// records arrive, because records arrive in depth order.
+// (limit <= 0 means no limit). The order is memoized and only rebuilt
+// after new records arrive; the returned slice is valid until the next
+// add or reset and must not be modified.
 func (s *subtree) bfs(limit int) []int64 {
-	order := make([]int64, 0, s.size())
-	queue := []int64{s.rootID}
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
-		order = append(order, id)
-		if limit > 0 && len(order) == limit {
-			return order
+	if s.stale {
+		// The order slice doubles as the BFS queue: entry qi is expanded
+		// after it has been appended, so no separate queue is needed.
+		order := append(s.order[:0], s.rootID)
+		for qi := 0; qi < len(order); qi++ {
+			order = append(order, s.kids[order[qi]]...)
 		}
-		queue = append(queue, s.sortedKids(id)...)
+		s.order = order
+		s.stale = false
 	}
-	return order
+	if limit > 0 && limit < len(s.order) {
+		return s.order[:limit:limit]
+	}
+	return s.order
 }
 
 // complete reports whether every known node's announced child count is

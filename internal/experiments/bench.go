@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"mstadvice/internal/core"
+	"mstadvice/internal/graph/gen"
+	"mstadvice/internal/sim"
+)
+
+// SimBenchResult is one row of the engine micro-benchmark, in the
+// machine-readable form cmd/experiments writes to BENCH_sim.json so
+// successive revisions leave a comparable perf trajectory.
+type SimBenchResult struct {
+	Scheme         string  `json:"scheme"`
+	Family         string  `json:"family"`
+	N              int     `json:"n"`
+	M              int     `json:"m"`
+	Workers        int     `json:"workers"`
+	Rounds         int     `json:"rounds"`
+	Messages       int64   `json:"messages"`
+	MsgBits        int64   `json:"msg_bits"`
+	WallNS         int64   `json:"wall_ns"`
+	NSPerRound     float64 `json:"ns_per_round"`
+	Allocs         uint64  `json:"allocs"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	AllocBytes     uint64  `json:"alloc_bytes"`
+	Verified       bool    `json:"verified"`
+}
+
+// SimBench runs the main scheme end to end (oracle, simulation,
+// verification) on random connected graphs and measures wall time and
+// allocation counts, sequentially and with the full worker pool. Sizes
+// come from the config; nil means the default engine-benchmark sweep.
+func SimBench(c Config) []SimBenchResult {
+	sizes := c.Sizes
+	if sizes == nil {
+		sizes = []int{1024, 10240}
+	}
+	workersList := []int{1}
+	if full := runtime.GOMAXPROCS(0); full > 1 {
+		workersList = append(workersList, full)
+	}
+	var out []SimBenchResult
+	for _, n := range sizes {
+		g := gen.RandomConnected(n, 3*n, c.rng(int64(n)), gen.Options{})
+		for _, workers := range workersList {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			res := mustRun(core.Scheme{}, g, 0, sim.Options{Workers: workers})
+			wall := time.Since(start)
+			runtime.ReadMemStats(&after)
+			out = append(out, SimBenchResult{
+				Scheme:         res.Scheme,
+				Family:         "random",
+				N:              g.N(),
+				M:              g.M(),
+				Workers:        workers,
+				Rounds:         res.Rounds,
+				Messages:       res.Messages,
+				MsgBits:        res.MsgBits,
+				WallNS:         wall.Nanoseconds(),
+				NSPerRound:     float64(wall.Nanoseconds()) / float64(maxInt(res.Rounds, 1)),
+				Allocs:         after.Mallocs - before.Mallocs,
+				AllocsPerRound: float64(after.Mallocs-before.Mallocs) / float64(maxInt(res.Rounds, 1)),
+				AllocBytes:     after.TotalAlloc - before.TotalAlloc,
+				Verified:       res.Verified,
+			})
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -51,10 +51,45 @@ type Edge struct {
 
 // Graph is an immutable simple weighted graph with port numbering. Build
 // one with a Builder. The zero value is an empty graph.
+//
+// Internally the adjacency is stored in CSR (compressed sparse row) form:
+// all 2m half-edges live in one contiguous slice grouped by node, with
+// per-node offsets, and every per-node adjacency slice is a view into it.
+// The cross-port table dstPort records, for each half-edge (u, p), the
+// port of the same edge at the far endpoint, so simulators can route a
+// message in O(1) without an edge-record lookup.
 type Graph struct {
-	adj   [][]Half
-	edges []Edge
-	ids   []int64 // distinct protocol-level identifiers, indexed by NodeID
+	adj     [][]Half // per-node views into halves, in port order
+	halves  []Half   // CSR payload: half-edges of node u at off[u]..off[u+1]
+	off     []int32  // CSR offsets, len n+1
+	dstPort []int32  // port at the far endpoint of each half-edge
+	edges   []Edge
+	ids     []int64 // distinct protocol-level identifiers, indexed by NodeID
+}
+
+// finalize builds the CSR representation from the per-node adjacency
+// lists and re-points them at the contiguous storage. Called once by
+// Builder.Build after validation.
+func (g *Graph) finalize() {
+	n := len(g.adj)
+	g.off = make([]int32, n+1)
+	total := 0
+	for u := 0; u < n; u++ {
+		g.off[u] = int32(total)
+		total += len(g.adj[u])
+	}
+	g.off[n] = int32(total)
+	g.halves = make([]Half, total)
+	g.dstPort = make([]int32, total)
+	for u := 0; u < n; u++ {
+		base := int(g.off[u])
+		hs := g.adj[u]
+		copy(g.halves[base:], hs)
+		for p, h := range hs {
+			g.dstPort[base+p] = int32(g.PortAt(h.Edge, h.To))
+		}
+		g.adj[u] = g.halves[base : base+len(hs) : base+len(hs)]
+	}
 }
 
 // N returns the number of nodes.
@@ -82,8 +117,29 @@ func (g *Graph) MaxDegree() int {
 func (g *Graph) ID(u NodeID) int64 { return g.ids[u] }
 
 // Adj returns u's half-edges in port order. The returned slice must not be
-// modified.
+// modified. It is an alias of Halves.
 func (g *Graph) Adj(u NodeID) []Half { return g.adj[u] }
+
+// Halves returns u's half-edges in port order as a view into the graph's
+// contiguous CSR storage. The returned slice must not be modified.
+func (g *Graph) Halves(u NodeID) []Half { return g.adj[u] }
+
+// HalfOffset returns the index of u's first half-edge in the CSR storage:
+// the half-edge at (u, port) has global half-edge index HalfOffset(u)+port.
+// Offsets are monotone, so HalfOffset also serves as a prefix-degree sum
+// for per-port flat buffers (slot i of node u lives at HalfOffset(u)+i).
+func (g *Graph) HalfOffset(u NodeID) int { return int(g.off[u]) }
+
+// NumHalves returns the total number of half-edges, 2·M().
+func (g *Graph) NumHalves() int { return len(g.halves) }
+
+// DstPort returns the port at the far endpoint of the half-edge at
+// (u, port): if that half-edge leads to v over edge e, DstPort(u, port) ==
+// PortAt(e, v), precomputed so routing does one array read instead of an
+// edge-record branch.
+func (g *Graph) DstPort(u NodeID, port int) int {
+	return int(g.dstPort[int(g.off[u])+port])
+}
 
 // HalfAt returns u's half-edge at the given port.
 func (g *Graph) HalfAt(u NodeID, port int) Half { return g.adj[u][port] }
@@ -283,10 +339,10 @@ func (g *Graph) BFS(src NodeID) (dist []int, parentPort []int) {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, h := range g.adj[u] {
+		for p, h := range g.adj[u] {
 			if dist[h.To] == -1 {
 				dist[h.To] = dist[u] + 1
-				parentPort[h.To] = g.PortAt(h.Edge, h.To)
+				parentPort[h.To] = g.DstPort(u, p)
 				queue = append(queue, h.To)
 			}
 		}
@@ -463,6 +519,7 @@ func (b *Builder) Build() (*Graph, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	g.finalize()
 	return g, nil
 }
 

@@ -362,3 +362,40 @@ func TestQuickCeilLog2Bound(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCSRRepresentation checks the flat adjacency invariants: Halves
+// matches Adj, offsets are monotone degree prefix sums, and the cross-port
+// table inverts port reciprocity.
+func TestCSRRepresentation(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(t, rng, 12, 26)
+		if g.NumHalves() != 2*g.M() {
+			t.Fatalf("NumHalves = %d, want %d", g.NumHalves(), 2*g.M())
+		}
+		off := 0
+		for u := 0; u < g.N(); u++ {
+			if g.HalfOffset(NodeID(u)) != off {
+				t.Fatalf("HalfOffset(%d) = %d, want %d", u, g.HalfOffset(NodeID(u)), off)
+			}
+			hs := g.Halves(NodeID(u))
+			if len(hs) != g.Degree(NodeID(u)) {
+				t.Fatalf("Halves(%d) has %d entries, degree %d", u, len(hs), g.Degree(NodeID(u)))
+			}
+			for p, h := range hs {
+				if h != g.HalfAt(NodeID(u), p) {
+					t.Fatalf("Halves(%d)[%d] != HalfAt", u, p)
+				}
+				dp := g.DstPort(NodeID(u), p)
+				if want := g.PortAt(h.Edge, h.To); dp != want {
+					t.Fatalf("DstPort(%d, %d) = %d, want %d", u, p, dp, want)
+				}
+				// Reciprocity: the far endpoint's DstPort points back.
+				if back := g.DstPort(h.To, dp); back != p {
+					t.Fatalf("DstPort reciprocity broken at (%d, %d): %d", u, p, back)
+				}
+			}
+			off += len(hs)
+		}
+	}
+}

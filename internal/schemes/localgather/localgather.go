@@ -83,6 +83,9 @@ type node struct {
 	nbrPort    []int
 	parentPort int
 	done       bool
+	// sendBuf backs the per-round flood outbox; the engine consumes the
+	// outbox before the next compute phase, so one buffer suffices.
+	sendBuf []sim.Send
 }
 
 func (n *node) Start(ctx *sim.Ctx, view *sim.NodeView) []sim.Send {
@@ -131,10 +134,11 @@ func (n *node) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Received) []s
 		}
 		return ka.BID < kb.BID
 	})
-	sends := make([]sim.Send, view.Deg)
+	sends := n.sendBuf[:0]
 	for p := 0; p < view.Deg; p++ {
-		sends[p] = sim.Send{Port: p, Msg: recordsMsg{Recs: fresh}}
+		sends = append(sends, sim.Send{Port: p, Msg: recordsMsg{Recs: fresh}})
 	}
+	n.sendBuf = sends
 	return sends
 }
 

@@ -161,6 +161,14 @@ type node struct {
 	chosenPort int
 	reqSentRnd int
 	reqDecided bool
+
+	// sendBuf backs the outbox returned from Round; scratch backs the
+	// helper-built batches (enterStage, toChildren), whose contents are
+	// copied into the outbox immediately at every call site. The engine
+	// consumes the outbox before the next compute phase, so both are safe
+	// to reuse every round.
+	sendBuf []sim.Send
+	scratch []sim.Send
 }
 
 func (n *node) Start(ctx *sim.Ctx, view *sim.NodeView) []sim.Send {
@@ -174,7 +182,7 @@ func (n *node) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Received) []s
 	if n.done {
 		return nil
 	}
-	var sends []sim.Send
+	sends := n.sendBuf[:0]
 	if ctx.Pulse != n.lastPulse {
 		if ctx.Pulse != n.lastPulse+1 {
 			panic(fmt.Sprintf("noadvice: missed a pulse (%d -> %d)", n.lastPulse, ctx.Pulse))
@@ -196,6 +204,7 @@ func (n *node) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Received) []s
 	if n.stage() == stageExchange && !n.candSent {
 		sends = append(sends, n.tryAggregate(view)...)
 	}
+	n.sendBuf = sends
 	return sends
 }
 
@@ -210,10 +219,11 @@ func (n *node) enterStage(ctx *sim.Ctx, view *sim.NodeView) []sim.Send {
 		n.haveBest = false
 		n.isChooser = false
 		n.reqDecided = false
-		sends := make([]sim.Send, view.Deg)
+		sends := n.scratch[:0]
 		for p := 0; p < view.Deg; p++ {
-			sends[p] = sim.Send{Port: p, Msg: fragMsg{Frag: n.fragID, ID: view.ID, Port: p}}
+			sends = append(sends, sim.Send{Port: p, Msg: fragMsg{Frag: n.fragID, ID: view.ID, Port: p}})
 		}
+		n.scratch = sends
 		return sends
 
 	case stageChoice:
@@ -387,10 +397,11 @@ func (n *node) keyAt(view *sim.NodeView, p int) graph.GlobalKey {
 }
 
 func (n *node) toChildren(m sim.Message) []sim.Send {
-	sends := make([]sim.Send, 0, len(n.children))
+	sends := n.scratch[:0]
 	for p := range n.children {
 		sends = append(sends, sim.Send{Port: p, Msg: m})
 	}
+	n.scratch = sends
 	return sends
 }
 

@@ -141,6 +141,13 @@ type node struct {
 	haveOutput bool
 	parentPort int
 	done       bool
+
+	// sendBuf backs the outbox returned from Round; scratch backs the
+	// pumpDowncast batch, which the caller copies into the outbox right
+	// away. The engine consumes the outbox before the next compute phase,
+	// so both are safe to reuse every round.
+	sendBuf []sim.Send
+	scratch []sim.Send
 }
 
 func (n *node) Start(ctx *sim.Ctx, view *sim.NodeView) []sim.Send {
@@ -161,7 +168,7 @@ func (n *node) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Received) []s
 	if n.done {
 		return nil
 	}
-	var sends []sim.Send
+	sends := n.sendBuf[:0]
 	for _, rcv := range inbox {
 		sends = append(sends, n.receive(view, rcv)...)
 	}
@@ -185,6 +192,7 @@ func (n *node) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Received) []s
 				sends = append(sends, sim.Send{Port: n.bfsParent, Msg: annMsg{}})
 			}
 		}
+		n.sendBuf = sends
 		return sends
 	}
 	sends = append(sends, n.pumpUpcast(view)...)
@@ -192,6 +200,7 @@ func (n *node) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Received) []s
 	if n.haveOutput && n.upDone && len(n.downQ) == 0 && n.downEnded {
 		n.done = true
 	}
+	n.sendBuf = sends
 	return sends
 }
 
@@ -389,10 +398,11 @@ func (n *node) pumpDowncast(view *sim.NodeView) []sim.Send {
 	if _, isEnd := item.(downEndMsg); isEnd {
 		n.downEnded = true
 	}
-	sends := make([]sim.Send, 0, len(n.children))
+	sends := n.scratch[:0]
 	for p := range n.children {
 		sends = append(sends, sim.Send{Port: p, Msg: item.(sim.Message)})
 	}
+	n.scratch = sends
 	return sends
 }
 

@@ -22,7 +22,6 @@ package sim
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"mstadvice/internal/bitstring"
@@ -91,7 +90,11 @@ type Ctx struct {
 //
 // Start is called once before round 1 and may already send. Round is
 // called every round with the messages delivered this round (possibly
-// none). Output returns the node's MST output — the port of the edge to
+// none), sorted by arrival port. The inbox slice is owned by the engine
+// and reused across rounds: it is valid only for the duration of the
+// call, and a node must copy any Received values it wants to retain
+// (retaining the messages themselves is fine — the engine never reuses
+// them). Output returns the node's MST output — the port of the edge to
 // its parent, or -1 for "I am the root" — and whether the node has
 // terminated. A node may send in the same round it terminates; the run
 // ends once every node reports done (undelivered final messages are
@@ -170,9 +173,223 @@ func NewNetwork(g *graph.Graph) *Network {
 // Cost returns the network's cost model.
 func (nw *Network) Cost() CostModel { return nw.cost }
 
+// acct accumulates one worker's routing statistics within a round. It is
+// padded to a cache line so workers writing their own accumulator do not
+// false-share.
+type acct struct {
+	messages int64
+	bits     int64
+	dropped  int64
+	congest  int64
+	maxBits  int64
+	_        [24]byte
+}
+
+// engine is the per-run state of the round executor. All per-port buffers
+// are flat slices indexed by the graph's CSR half-edge offsets
+// (HalfOffset(u)+port) and are allocated once per run, never per round:
+// the model delivers at most one message per port per round, so a fixed
+// slot per half-edge replaces the append-grown inboxes and map-based
+// duplicate detection of the earlier engine.
+type engine struct {
+	g       *graph.Graph
+	cost    CostModel
+	opt     Options
+	n       int
+	workers int
+
+	views    []*NodeView
+	nodes    []Node
+	outboxes [][]Send
+	errs     []error
+
+	// slots holds the inbox slot of every half-edge: a message routed to
+	// node v on port p lands in slots[HalfOffset(v)+p]. Msg == nil marks
+	// an empty slot. Slots are compacted into the node's inbox view and
+	// cleared during its Round call, so a single buffer serves all rounds.
+	slots []Received
+	// stamps detects duplicate sends: stamps[HalfOffset(u)+port] is set to
+	// the current round stamp when u sends on port, so a second send on
+	// the same port in the same round is caught without a per-node map.
+	stamps []uint32
+	// prefix[u] is the number of messages routed by nodes < u this round;
+	// together with routed it gives every message a deterministic global
+	// 1-based index, which keeps DropEvery fault injection independent of
+	// worker scheduling.
+	prefix []int64
+	routed int64 // messages routed in previous rounds
+
+	accts []acct
+	res   *Result
+}
+
+// runWorkers executes fn over contiguous node ranges on the worker pool
+// and waits for all of them. fn receives the worker index for per-worker
+// accumulators. With one worker it runs inline, and because all shared
+// state is indexed deterministically the results are identical either way.
+func (e *engine) runWorkers(fn func(w, lo, hi int)) {
+	if e.workers == 1 || e.n < 2 {
+		fn(0, 0, e.n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (e.n + e.workers - 1) / e.workers
+	for w := 0; w < e.workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > e.n {
+			hi = e.n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// firstErr returns the lowest-node error, matching the node order a
+// sequential engine would report.
+func (e *engine) firstErr() error {
+	for u := 0; u < e.n; u++ {
+		if e.errs[u] != nil {
+			return e.errs[u]
+		}
+	}
+	return nil
+}
+
+// route validates and delivers the outboxes produced in this round,
+// returning the number of messages in flight for the next round. Delivery
+// is parallel across senders: each message's destination slot is unique
+// (one slot per half-edge), statistics go to per-worker accumulators
+// merged at the barrier, and drop decisions use precomputed prefix sums,
+// so the result is byte-identical for any worker count.
+func (e *engine) route(round int) (int, error) {
+	if err := e.firstErr(); err != nil {
+		return 0, err
+	}
+	total := int64(0)
+	for u := 0; u < e.n; u++ {
+		e.prefix[u] = total
+		total += int64(len(e.outboxes[u]))
+	}
+	if total == 0 {
+		if e.opt.RecordRoundStats {
+			e.res.PerRound = append(e.res.PerRound, RoundStats{Round: round})
+		}
+		return 0, nil
+	}
+	// Rounds are far below 2^32, so the stamp is unique per route call.
+	stamp := uint32(round) + 1
+	e.runWorkers(func(w, lo, hi int) {
+		a := &e.accts[w]
+		g := e.g
+		for u := lo; u < hi; u++ {
+			out := e.outboxes[u]
+			if len(out) == 0 {
+				continue
+			}
+			e.outboxes[u] = nil
+			uid := graph.NodeID(u)
+			base := g.HalfOffset(uid)
+			deg := g.Degree(uid)
+			gi := e.routed + e.prefix[u]
+			for _, s := range out {
+				if s.Port < 0 || s.Port >= deg {
+					e.errs[u] = fmt.Errorf("sim: node %d sent on invalid port %d in round %d", u, s.Port, round)
+					break
+				}
+				if e.stamps[base+s.Port] == stamp {
+					e.errs[u] = fmt.Errorf("sim: node %d sent twice on port %d in round %d", u, s.Port, round)
+					break
+				}
+				e.stamps[base+s.Port] = stamp
+				if s.Msg == nil {
+					e.errs[u] = fmt.Errorf("sim: node %d sent a nil message on port %d in round %d", u, s.Port, round)
+					break
+				}
+				gi++
+				if e.opt.DropEvery > 0 && gi%int64(e.opt.DropEvery) == 0 {
+					a.dropped++
+					continue
+				}
+				h := g.HalfAt(uid, s.Port)
+				dp := g.DstPort(uid, s.Port)
+				e.slots[g.HalfOffset(h.To)+dp] = Received{Port: dp, Msg: s.Msg}
+				bits := int64(s.Msg.SizeBits(e.cost))
+				a.messages++
+				a.bits += bits
+				if bits > a.maxBits {
+					a.maxBits = bits
+				}
+				if e.opt.CongestB > 0 && bits > int64(e.opt.CongestB) {
+					a.congest++
+				}
+			}
+		}
+	})
+	e.routed += total
+	var delivered, roundBits, maxBits int64
+	for w := range e.accts {
+		a := &e.accts[w]
+		delivered += a.messages
+		roundBits += a.bits
+		e.res.CongestViolations += a.congest
+		e.res.Dropped += a.dropped
+		if a.maxBits > maxBits {
+			maxBits = a.maxBits
+		}
+		*a = acct{}
+	}
+	e.res.Messages += delivered
+	e.res.TotalBits += roundBits
+	if int(maxBits) > e.res.MaxMsgBits {
+		e.res.MaxMsgBits = int(maxBits)
+	}
+	if err := e.firstErr(); err != nil {
+		return 0, err
+	}
+	if e.opt.RecordRoundStats {
+		e.res.PerRound = append(e.res.PerRound, RoundStats{Round: round, Messages: int(delivered), Bits: roundBits})
+	}
+	return int(delivered), nil
+}
+
+// stepNode compacts node u's inbox slots into a port-sorted inbox view,
+// runs its Round handler, and clears the consumed slots for the next
+// delivery. Slots are already in port order, so no sorting is needed.
+func (e *engine) stepNode(ctx *Ctx, u int) {
+	defer capture(&e.errs[u], u, ctx.Round)
+	uid := graph.NodeID(u)
+	base := e.g.HalfOffset(uid)
+	seg := e.slots[base : base+e.g.Degree(uid)]
+	k := 0
+	for p := range seg {
+		if seg[p].Msg != nil {
+			if k != p {
+				seg[k] = seg[p]
+				seg[p] = Received{}
+			}
+			k++
+		}
+	}
+	e.outboxes[u] = e.nodes[u].Round(ctx, e.views[u], seg[:k:k])
+	for i := 0; i < k; i++ {
+		seg[i] = Received{}
+	}
+}
+
 // Run executes the algorithm on every node until all nodes report done.
 // advice[u] is handed to node u (nil entries become empty strings); pass a
 // nil slice for no advice at all.
+//
+// Runs are deterministic: for a fixed graph, factory and options, every
+// field of the Result — including per-round statistics and DropEvery
+// fault-injection accounting — is identical for any Workers setting.
 func (nw *Network) Run(factory Factory, advice []*bitstring.BitString, opt Options) (*Result, error) {
 	g := nw.g
 	n := g.N()
@@ -191,12 +408,18 @@ func (nw *Network) Run(factory Factory, advice []*bitstring.BitString, opt Optio
 		workers = 1
 	}
 
+	nh := g.NumHalves()
+	portW := make([]graph.Weight, nh) // all views' PortW, one allocation
+	viewStore := make([]NodeView, n)
 	views := make([]*NodeView, n)
 	nodes := make([]Node, n)
 	for u := 0; u < n; u++ {
-		pw := make([]graph.Weight, g.Degree(graph.NodeID(u)))
-		for p := range pw {
-			pw[p] = g.HalfAt(graph.NodeID(u), p).W
+		uid := graph.NodeID(u)
+		base := g.HalfOffset(uid)
+		hs := g.Halves(uid)
+		pw := portW[base : base+len(hs) : base+len(hs)]
+		for p, h := range hs {
+			pw[p] = h.W
 		}
 		var adv *bitstring.BitString
 		if advice != nil && advice[u] != nil {
@@ -204,92 +427,28 @@ func (nw *Network) Run(factory Factory, advice []*bitstring.BitString, opt Optio
 		} else {
 			adv = bitstring.New(0)
 		}
-		views[u] = &NodeView{ID: g.ID(graph.NodeID(u)), N: n, Deg: len(pw), PortW: pw, Advice: adv}
+		viewStore[u] = NodeView{ID: g.ID(uid), N: n, Deg: len(hs), PortW: pw, Advice: adv}
+		views[u] = &viewStore[u]
 		nodes[u] = factory(views[u])
 	}
 
-	res := &Result{ParentPorts: make([]int, n)}
-	inboxes := make([][]Received, n)
-	outboxes := make([][]Send, n)
-	errs := make([]error, n)
-	routed := int64(0) // messages routed so far, for DropEvery
-
-	// parallelFor runs fn(u) for every node on the worker pool.
-	parallelFor := func(fn func(u int)) {
-		if workers == 1 || n < 2 {
-			for u := 0; u < n; u++ {
-				fn(u)
-			}
-			return
-		}
-		var wg sync.WaitGroup
-		chunk := (n + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for u := lo; u < hi; u++ {
-					fn(u)
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
+	e := &engine{
+		g:        g,
+		cost:     nw.cost,
+		opt:      opt,
+		n:        n,
+		workers:  workers,
+		views:    views,
+		nodes:    nodes,
+		outboxes: make([][]Send, n),
+		errs:     make([]error, n),
+		slots:    make([]Received, nh),
+		stamps:   make([]uint32, nh),
+		prefix:   make([]int64, n),
+		accts:    make([]acct, workers),
+		res:      &Result{ParentPorts: make([]int, n)},
 	}
-
-	// validate and route the outboxes produced in this round; returns the
-	// number of messages in flight for the next round.
-	route := func(round int) (int, error) {
-		for u := 0; u < n; u++ {
-			if errs[u] != nil {
-				return 0, errs[u]
-			}
-		}
-		inflight := 0
-		var roundBits int64
-		for u := 0; u < n; u++ {
-			seen := make(map[int]bool, len(outboxes[u]))
-			for _, s := range outboxes[u] {
-				if s.Port < 0 || s.Port >= g.Degree(graph.NodeID(u)) {
-					return 0, fmt.Errorf("sim: node %d sent on invalid port %d in round %d", u, s.Port, round)
-				}
-				if seen[s.Port] {
-					return 0, fmt.Errorf("sim: node %d sent twice on port %d in round %d", u, s.Port, round)
-				}
-				seen[s.Port] = true
-				routed++
-				if opt.DropEvery > 0 && routed%int64(opt.DropEvery) == 0 {
-					res.Dropped++
-					continue
-				}
-				half := g.HalfAt(graph.NodeID(u), s.Port)
-				dstPort := g.PortAt(half.Edge, half.To)
-				inboxes[half.To] = append(inboxes[half.To], Received{Port: dstPort, Msg: s.Msg})
-				bits := s.Msg.SizeBits(nw.cost)
-				res.Messages++
-				res.TotalBits += int64(bits)
-				roundBits += int64(bits)
-				if bits > res.MaxMsgBits {
-					res.MaxMsgBits = bits
-				}
-				if opt.CongestB > 0 && bits > opt.CongestB {
-					res.CongestViolations++
-				}
-				inflight++
-			}
-			outboxes[u] = nil
-		}
-		if opt.RecordRoundStats && round >= 0 {
-			res.PerRound = append(res.PerRound, RoundStats{Round: round, Messages: inflight, Bits: roundBits})
-		}
-		return inflight, nil
-	}
+	res := e.res
 
 	allDone := func() bool {
 		for u := 0; u < n; u++ {
@@ -302,11 +461,15 @@ func (nw *Network) Run(factory Factory, advice []*bitstring.BitString, opt Optio
 
 	// Round 0: Start.
 	ctx := Ctx{Round: 0, Cost: nw.cost}
-	parallelFor(func(u int) {
-		defer capture(&errs[u], u, 0)
-		outboxes[u] = nodes[u].Start(&ctx, views[u])
+	e.runWorkers(func(w, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			func() {
+				defer capture(&e.errs[u], u, 0)
+				e.outboxes[u] = nodes[u].Start(&ctx, views[u])
+			}()
+		}
 	})
-	inflight, err := route(0)
+	inflight, err := e.route(0)
 	if err != nil {
 		return nil, err
 	}
@@ -322,14 +485,12 @@ func (nw *Network) Run(factory Factory, advice []*bitstring.BitString, opt Optio
 			res.Pulses++
 		}
 		ctx.Round = round
-		parallelFor(func(u int) {
-			defer capture(&errs[u], u, round)
-			inbox := inboxes[u]
-			inboxes[u] = nil
-			sort.Slice(inbox, func(a, b int) bool { return inbox[a].Port < inbox[b].Port })
-			outboxes[u] = nodes[u].Round(&ctx, views[u], inbox)
+		e.runWorkers(func(w, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				e.stepNode(&ctx, u)
+			}
 		})
-		if inflight, err = route(round); err != nil {
+		if inflight, err = e.route(round); err != nil {
 			return nil, err
 		}
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"mstadvice/internal/bitstring"
@@ -228,6 +229,71 @@ func TestDoubleSendRejected(t *testing.T) {
 	}
 }
 
+// doubleSendLater behaves for two rounds, then sends twice on port 0 in
+// round 3 — exercising duplicate detection once the stamp array has
+// already been written in earlier rounds.
+type doubleSendLater struct{}
+
+func (d *doubleSendLater) Start(*Ctx, *NodeView) []Send { return nil }
+func (d *doubleSendLater) Round(ctx *Ctx, view *NodeView, inbox []Received) []Send {
+	if ctx.Round == 3 {
+		return []Send{{Port: 0, Msg: tmsg{1}}, {Port: 0, Msg: tmsg{2}}}
+	}
+	return []Send{{Port: 0, Msg: tmsg{0}}}
+}
+func (d *doubleSendLater) Output() (int, bool) { return -1, false }
+
+func TestDoubleSendRejectedInLaterRound(t *testing.T) {
+	g := gen.Ring(8, rand.New(rand.NewSource(40)), gen.Options{})
+	for _, workers := range []int{1, 4} {
+		_, err := NewNetwork(g).Run(func(*NodeView) Node { return &doubleSendLater{} }, nil,
+			Options{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: expected double-send error", workers)
+		}
+	}
+}
+
+// chatter sends on port 0 every round until round 5: repeated sends on the
+// same port in different rounds are legal and must not trip the
+// duplicate-send stamps.
+type chatter struct{ done bool }
+
+func (c *chatter) Start(*Ctx, *NodeView) []Send { return []Send{{Port: 0, Msg: tmsg{0}}} }
+func (c *chatter) Round(ctx *Ctx, view *NodeView, inbox []Received) []Send {
+	if ctx.Round >= 5 {
+		c.done = true
+		return nil
+	}
+	return []Send{{Port: 0, Msg: tmsg{int64(ctx.Round)}}}
+}
+func (c *chatter) Output() (int, bool) { return -1, c.done }
+
+func TestSamePortAcrossRoundsAllowed(t *testing.T) {
+	g := gen.Ring(6, rand.New(rand.NewSource(41)), gen.Options{})
+	res, err := NewNetwork(g).Run(func(*NodeView) Node { return &chatter{} }, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 6*5 {
+		t.Fatalf("Messages = %d, want 30 (6 nodes x 5 sends)", res.Messages)
+	}
+}
+
+// nilSender sends a nil message.
+type nilSender struct{}
+
+func (s *nilSender) Start(*Ctx, *NodeView) []Send             { return []Send{{Port: 0, Msg: nil}} }
+func (s *nilSender) Round(*Ctx, *NodeView, []Received) []Send { return nil }
+func (s *nilSender) Output() (int, bool)                      { return -1, false }
+
+func TestNilMessageRejected(t *testing.T) {
+	g := gen.Ring(3, rand.New(rand.NewSource(42)), gen.Options{})
+	if _, err := NewNetwork(g).Run(func(*NodeView) Node { return &nilSender{} }, nil, Options{}); err == nil {
+		t.Fatal("expected nil-message error")
+	}
+}
+
 // panicky panics in round 1.
 type panicky struct{}
 
@@ -303,6 +369,80 @@ func TestDropEvery(t *testing.T) {
 			lossy.Messages, lossy.Dropped, clean.Messages)
 	}
 }
+
+// TestDropEveryAccounting pins the fault-injection contract: the dropped
+// messages are exactly those whose global routed index (1-based, in node
+// order then outbox order, cumulative across rounds) is a multiple of k.
+func TestDropEveryAccounting(t *testing.T) {
+	g := gen.Complete(8, rand.New(rand.NewSource(13)), gen.Options{})
+	for _, k := range []int{2, 3, 7} {
+		res, err := NewNetwork(g).Run(func(*NodeView) Node { return &chatter{} }, nil,
+			Options{DropEvery: k, MaxRounds: 100})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		routed := res.Messages + res.Dropped
+		if res.Dropped != routed/int64(k) {
+			t.Fatalf("k=%d: dropped %d of %d routed, want %d", k, res.Dropped, routed, routed/int64(k))
+		}
+	}
+}
+
+// TestDropEveryDeterministicAcrossWorkers asserts that fault injection —
+// which depends on a global routed-message counter — drops the same
+// messages no matter how routing is parallelized.
+func TestDropEveryDeterministicAcrossWorkers(t *testing.T) {
+	g := gen.RandomConnected(300, 900, rand.New(rand.NewSource(14)), gen.Options{})
+	run := func(workers int) *Result {
+		res, err := NewNetwork(g).Run(func(*NodeView) Node { return &chatter{} }, nil,
+			Options{Workers: workers, DropEvery: 3, MaxRounds: 2000, RecordRoundStats: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	want := run(1)
+	if want.Dropped == 0 {
+		t.Fatal("DropEvery=3 dropped nothing; test is vacuous")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d diverged from sequential:\nseq: %+v\npar: %+v", workers, want, got)
+		}
+	}
+}
+
+// TestInboxSortedByPort asserts the engine's ordering contract: inboxes
+// arrive sorted by arrival port.
+func TestInboxSortedByPort(t *testing.T) {
+	g := gen.Complete(9, rand.New(rand.NewSource(15)), gen.Options{})
+	factory := func(view *NodeView) Node { return &inboxChecker{} }
+	if _, err := NewNetwork(g).Run(factory, nil, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// inboxChecker floods all ports once and verifies the echo arrives in
+// strictly increasing port order; violations panic, which the engine
+// surfaces as a run error.
+type inboxChecker struct {
+	done bool
+}
+
+func (c *inboxChecker) Start(ctx *Ctx, view *NodeView) []Send {
+	return sendAll(view.Deg, tmsg{0})
+}
+func (c *inboxChecker) Round(ctx *Ctx, view *NodeView, inbox []Received) []Send {
+	for i := 1; i < len(inbox); i++ {
+		if inbox[i].Port <= inbox[i-1].Port {
+			panic("inbox not sorted by port")
+		}
+	}
+	c.done = true
+	return nil
+}
+func (c *inboxChecker) Output() (int, bool) { return -1, c.done }
 
 func TestCostModel(t *testing.T) {
 	g := graph.NewBuilder(3).
