@@ -1,16 +1,18 @@
 // Command experiments regenerates the reproduction's tables and figures
-// (E1..E10, see DESIGN.md §3 and EXPERIMENTS.md):
+// (E1..E11, see DESIGN.md §3 and EXPERIMENTS.md):
 //
 //	experiments                       # run everything at the default sizes
 //	experiments -e e4,e5              # only the main theorem and the separation
+//	experiments -e e11                # dynamic networks: sensitivity + churn
 //	experiments -sizes 16,128         # custom n sweep
 //	experiments -bench-sim BENCH_sim.json
 //	                                  # engine micro-benchmark, machine-readable
 //
 // With -bench-sim the command skips the tables, runs the round-engine
 // benchmark (main scheme, sequential and parallel, at -sizes or the
-// default engine sweep) and writes the results as JSON, so successive
-// revisions leave a comparable perf trajectory in version control.
+// default engine sweep) plus the dynamic single-edge-update benchmark,
+// and writes the results as JSON, so successive revisions leave a
+// comparable perf trajectory in version control.
 package main
 
 import (
@@ -26,7 +28,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("e", "all", "comma-separated experiment ids (e1..e10) or 'all'")
+		which    = flag.String("e", "all", "comma-separated experiment ids (e1..e11) or 'all'")
 		sizes    = flag.String("sizes", "", "comma-separated n sweep (default 16,64,256,1024)")
 		families = flag.String("families", "", "comma-separated families (default path,grid,random,expander)")
 		seed     = flag.Int64("seed", 1, "generator seed")
@@ -46,6 +48,9 @@ func main() {
 	}
 	if *families != "" {
 		cfg.Families = strings.Split(*families, ",")
+	}
+	if err := cfg.Validate(); err != nil {
+		fail("%v", err)
 	}
 
 	if *benchSim != "" {

@@ -4,6 +4,8 @@
 //	mstadvice -scheme core -family grid -n 256 -seed 7
 //	mstadvice -scheme noadvice -family path -n 512
 //	mstadvice -all -family lollipop -n 128
+//	mstadvice -sensitivity -family random -n 256     # per-edge MST tolerances
+//	mstadvice -faults 8 -family expander -n 128      # fail 8 non-tree links mid-run
 //	mstadvice -list
 package main
 
@@ -12,23 +14,28 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 
 	"mstadvice"
 
+	"mstadvice/internal/dynamic"
+	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
 	"mstadvice/internal/report"
 )
 
 func main() {
 	var (
-		schemeName = flag.String("scheme", "core", "scheme: trivial | oneround | core | core-adaptive | localgather | noadvice | pipeline")
-		family     = flag.String("family", "random", "graph family (see -list)")
-		n          = flag.Int("n", 64, "approximate node count")
-		seed       = flag.Int64("seed", 1, "generator seed")
-		root       = flag.Int("root", 0, "designated root node")
-		weights    = flag.String("weights", "distinct", "weight mode: distinct | random | unit")
-		all        = flag.Bool("all", false, "run every scheme on the graph and print a comparison table")
-		list       = flag.Bool("list", false, "list schemes and families, then exit")
+		schemeName  = flag.String("scheme", "core", "scheme: trivial | oneround | core | core-adaptive | localgather | noadvice | pipeline")
+		family      = flag.String("family", "random", "graph family (see -list)")
+		n           = flag.Int("n", 64, "approximate node count")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		root        = flag.Int("root", 0, "designated root node")
+		weights     = flag.String("weights", "distinct", "weight mode: distinct | random | unit")
+		all         = flag.Bool("all", false, "run every scheme on the graph and print a comparison table")
+		list        = flag.Bool("list", false, "list schemes and families, then exit")
+		sensitivity = flag.Bool("sensitivity", false, "print the MST sensitivity analysis of the graph and exit")
+		faults      = flag.Int("faults", 0, "fail this many non-tree links from round 2 onward (scenario fault injection)")
 	)
 	flag.Parse()
 
@@ -37,7 +44,10 @@ func main() {
 		for _, s := range mstadvice.Schemes() {
 			fmt.Printf("  %s\n", s.Name())
 		}
-		fmt.Println("families: path ring grid tree random expander star caterpillar binarytree complete wheel lollipop")
+		fmt.Println("families:")
+		for _, f := range gen.Families() {
+			fmt.Printf("  %s\n", f.Name)
+		}
 		return
 	}
 
@@ -61,9 +71,29 @@ func main() {
 		fail("unknown weight mode %q", *weights)
 	}
 
-	g := fam.Build(*n, rand.New(rand.NewSource(*seed)), gen.Options{Weights: mode})
+	g, err := fam.Generate(*n, rand.New(rand.NewSource(*seed)), gen.Options{Weights: mode})
+	if err != nil {
+		fail("%v", err)
+	}
 	if *root < 0 || *root >= g.N() {
 		fail("root %d out of range [0,%d)", *root, g.N())
+	}
+
+	if *sensitivity {
+		printSensitivity(g, *family, mode, *seed)
+		return
+	}
+
+	var opt mstadvice.RunOptions
+	if *faults > 0 {
+		sens, err := dynamic.Analyze(g)
+		if err != nil {
+			fail("%v", err)
+		}
+		opt.Scenario = dynamic.NonTreeLinkFailures(sens, *faults, 2)
+		if got := len(opt.Scenario.Events); got < *faults {
+			fmt.Printf("note: only %d non-tree links exist; failing all of them\n", got)
+		}
 	}
 
 	if *all {
@@ -71,9 +101,12 @@ func main() {
 			fmt.Sprintf("all schemes on %s (n=%d, m=%d, weights=%s, seed=%d)", *family, g.N(), g.M(), mode, *seed),
 			"scheme", "advice max", "advice avg", "rounds", "messages", "max msg [bits]", "exact MST")
 		for _, s := range mstadvice.Schemes() {
-			res, err := mstadvice.Run(s, g, mstadvice.NodeID(*root), mstadvice.RunOptions{})
+			res, err := mstadvice.Run(s, g, mstadvice.NodeID(*root), opt)
 			if err != nil {
-				fail("%s: %v", s.Name(), err)
+				// Under fault injection a scheme may legitimately fail;
+				// report it as a row instead of aborting the comparison.
+				t.Add(s.Name(), "-", "-", "-", "-", "-", fmt.Sprintf("FAILED: %v", err))
+				continue
 			}
 			t.Add(s.Name(), res.Advice.MaxBits, res.Advice.AvgBits, res.Rounds,
 				res.Messages, res.MaxMsgBits, res.Verified)
@@ -84,7 +117,7 @@ func main() {
 		return
 	}
 
-	res, err := mstadvice.Run(scheme, g, mstadvice.NodeID(*root), mstadvice.RunOptions{})
+	res, err := mstadvice.Run(scheme, g, mstadvice.NodeID(*root), opt)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -99,6 +132,10 @@ func main() {
 	}
 	fmt.Printf("messages      %d (total %d bits, largest %d bits)\n",
 		res.Messages, res.MsgBits, res.MaxMsgBits)
+	if *faults > 0 {
+		fmt.Printf("faults        %d links down from round 2: %d messages lost, %d undelivered\n",
+			len(opt.Scenario.Events), res.LinkDropped, res.Undelivered)
+	}
 	fmt.Printf("output root   node %d\n", res.Root)
 	if res.Verified {
 		fmt.Printf("verification  exact rooted MST: OK\n")
@@ -109,6 +146,70 @@ func main() {
 	if res.Scheme == "core" {
 		exact, paper := mstadvice.ConstantAdviceRounds(res.N)
 		fmt.Printf("round bounds  schedule %d, paper 9⌈log n⌉ = %d\n", exact, paper)
+	}
+}
+
+// printSensitivity renders the per-edge tolerance analysis: aggregate
+// statistics plus the most fragile edges on either side of the MST.
+func printSensitivity(g *mstadvice.Graph, family string, mode mstadvice.WeightMode, seed int64) {
+	sens, err := dynamic.Analyze(g)
+	if err != nil {
+		fail("%v", err)
+	}
+	bridges, nonTree := 0, 0
+	var minTree, minNonTree int64 = -1, -1
+	for e := 0; e < g.M(); e++ {
+		slack, bounded := sens.Slack(graph.EdgeID(e))
+		switch {
+		case sens.InTree[e] && !bounded:
+			bridges++
+		case sens.InTree[e]:
+			if minTree < 0 || slack < minTree {
+				minTree = slack
+			}
+		default:
+			nonTree++
+			if minNonTree < 0 || slack < minNonTree {
+				minNonTree = slack
+			}
+		}
+	}
+	fmt.Printf("graph         %s, n=%d, m=%d, weights=%s, seed=%d\n", family, g.N(), g.M(), mode, seed)
+	fmt.Printf("mst           %d tree edges (%d bridges), %d non-tree edges\n", g.N()-1, bridges, nonTree)
+	if minTree >= 0 {
+		fmt.Printf("tree slack    min %d weight units before a tree edge is evicted\n", minTree)
+	}
+	if minNonTree >= 0 {
+		fmt.Printf("cycle slack   min %d weight units before a non-tree edge enters\n", minNonTree)
+	}
+	t := report.New("most fragile edges (smallest slack first)",
+		"edge", "u-v", "weight", "in MST", "tolerance", "slack")
+	type frag struct {
+		e     graph.EdgeID
+		slack int64
+	}
+	var frags []frag
+	for e := 0; e < g.M(); e++ {
+		if slack, bounded := sens.Slack(graph.EdgeID(e)); bounded {
+			frags = append(frags, frag{graph.EdgeID(e), slack})
+		}
+	}
+	sort.Slice(frags, func(a, b int) bool {
+		if frags[a].slack != frags[b].slack {
+			return frags[a].slack < frags[b].slack
+		}
+		return frags[a].e < frags[b].e
+	})
+	if len(frags) > 10 {
+		frags = frags[:10]
+	}
+	for _, f := range frags {
+		rec := g.Edge(f.e)
+		limit, _ := sens.Tolerance(f.e)
+		t.Add(f.e, fmt.Sprintf("%d-%d", rec.U, rec.V), rec.W, sens.InTree[f.e], limit, f.slack)
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		fail("%v", err)
 	}
 }
 

@@ -65,6 +65,14 @@ type Result struct {
 	Messages   int64
 	MsgBits    int64
 	MaxMsgBits int
+	// Sent, Dropped, LinkDropped and Undelivered mirror the simulator's
+	// conserved message accounting: Sent == Messages + Dropped +
+	// LinkDropped, and Undelivered final-round messages are included in
+	// Messages (see sim.Result).
+	Sent        int64
+	Dropped     int64
+	LinkDropped int64
+	Undelivered int64
 	// CongestViolations counts messages exceeding sim.Options.CongestB
 	// (0 when auditing is off).
 	CongestViolations int64
@@ -119,6 +127,10 @@ func Run(scheme Scheme, g *graph.Graph, root graph.NodeID, opt sim.Options) (*Re
 		Messages:          simRes.Messages,
 		MsgBits:           simRes.TotalBits,
 		MaxMsgBits:        simRes.MaxMsgBits,
+		Sent:              simRes.Sent,
+		Dropped:           simRes.Dropped,
+		LinkDropped:       simRes.LinkDropped,
+		Undelivered:       simRes.Undelivered,
 		CongestViolations: simRes.CongestViolations,
 		PerRound:          simRes.PerRound,
 		ParentPorts:       simRes.ParentPorts,

@@ -33,6 +33,46 @@ type adviceBuilder struct {
 	used  []int
 	packs []*bitstring.BitString
 	final []bool
+	frags []FinalFragment
+}
+
+// FinalFragment is the structural record of one fragment remaining after
+// the last packed phase, as the incremental oracle (internal/dynamic)
+// needs it: its final-stage advice value can be recomputed from the
+// root's current incident weights alone, without re-running the Borůvka
+// decomposition.
+type FinalFragment struct {
+	// Root is the fragment node closest to the global root.
+	Root graph.NodeID
+	// ParentPort is the port at Root of its tree parent edge, -1 for the
+	// fragment holding the global root.
+	ParentPort int
+	// Carriers are the first Width nodes of the fragment's BFS order —
+	// the nodes whose final advice bit spells the fragment's string.
+	Carriers []graph.NodeID
+	// Value is the encoded final string: the global rank of the root's
+	// parent edge among its incident edges, or all-ones for the global
+	// root fragment.
+	Value uint64
+}
+
+// AdviceDetail is the full output of the Theorem 3 oracle: the advice
+// strings plus the intermediate layout an incremental recomputation needs
+// to re-encode only the nodes whose fragment structure changed.
+type AdviceDetail struct {
+	// Advice is the per-node advice, [final bit] ‖ [packed phase bits].
+	Advice []*bitstring.BitString
+	// Packed is the per-node packed region (everything after bit 0). It
+	// depends only on the decomposition structure, never on the concrete
+	// weights, so weight churn that preserves the decomposition keeps it
+	// bit-identical.
+	Packed []*bitstring.BitString
+	// Final is the per-node final-stage bit.
+	Final []bool
+	// Frags lists the fragments remaining after the last packed phase.
+	Frags []FinalFragment
+	// Width is the final string width, ⌈log n⌉.
+	Width int
 }
 
 // BuildAdvice computes the Theorem 3 advice for g rooted at root. cap is
@@ -40,6 +80,16 @@ type adviceBuilder struct {
 // allowed for the ablation experiment and fail with a descriptive error
 // when the packing no longer fits.
 func BuildAdvice(g *graph.Graph, root graph.NodeID, cap int) ([]*bitstring.BitString, error) {
+	d, err := BuildAdviceDetail(g, root, cap)
+	if err != nil {
+		return nil, err
+	}
+	return d.Advice, nil
+}
+
+// BuildAdviceDetail is BuildAdvice plus the layout detail used by
+// incremental recomputation.
+func BuildAdviceDetail(g *graph.Graph, root graph.NodeID, cap int) (*AdviceDetail, error) {
 	n := g.N()
 	b := &adviceBuilder{
 		g:     g,
@@ -76,7 +126,13 @@ func BuildAdvice(g *graph.Graph, root graph.NodeID, cap int) ([]*bitstring.BitSt
 		}
 		out[u] = s
 	}
-	return out, nil
+	return &AdviceDetail{
+		Advice: out,
+		Packed: b.packs,
+		Final:  b.final,
+		Frags:  b.frags,
+		Width:  b.sched.Width,
+	}, nil
 }
 
 // packPhase streams A(F) for every selecting fragment of phase i.
@@ -140,13 +196,15 @@ func (b *adviceBuilder) assignFinal() error {
 		lastPacked = b.d.NumPhases()
 	}
 	frags := b.d.FragmentsAtStart(lastPacked + 1)
+	b.frags = make([]FinalFragment, 0, len(frags))
 	for fi := range frags {
 		f := &frags[fi]
 		var value uint64
+		port := -1
 		if f.Root == b.d.Root {
 			value = 1<<uint(b.sched.Width) - 1 // all-ones: "I am the root"
 		} else {
-			port := b.d.ParentPort[f.Root]
+			port = b.d.ParentPort[f.Root]
 			rank := b.g.GlobalRankAt(f.Root, port)
 			value = uint64(rank)
 			if value >= 1<<uint(b.sched.Width)-1 {
@@ -158,9 +216,17 @@ func (b *adviceBuilder) assignFinal() error {
 		}
 		a := bitstring.New(b.sched.Width)
 		a.AppendUint(value, b.sched.Width)
+		carriers := make([]graph.NodeID, b.sched.Width)
 		for k := 0; k < b.sched.Width; k++ {
 			b.final[f.BFS[k]] = a.Bit(k)
+			carriers[k] = f.BFS[k]
 		}
+		b.frags = append(b.frags, FinalFragment{
+			Root:       f.Root,
+			ParentPort: port,
+			Carriers:   carriers,
+			Value:      value,
+		})
 	}
 	return nil
 }

@@ -1,0 +1,430 @@
+package dynamic
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"mstadvice/internal/advice"
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/core"
+	"mstadvice/internal/graph"
+	"mstadvice/internal/graph/gen"
+	"mstadvice/internal/mst"
+	"mstadvice/internal/sim"
+)
+
+func adviceEqual(a, b []*bitstring.BitString) (int, bool) {
+	if len(a) != len(b) {
+		return -1, false
+	}
+	for u := range a {
+		if a[u].String() != b[u].String() {
+			return u, false
+		}
+	}
+	return 0, true
+}
+
+// TestSensitivityExact verifies WouldChange against brute force: for a
+// sample of (edge, new weight) pairs, compare the prediction with the
+// Kruskal MST of the actually-patched graph.
+func TestSensitivityExact(t *testing.T) {
+	for _, mode := range []gen.WeightMode{gen.WeightsDistinct, gen.WeightsRandom, gen.WeightsUnit} {
+		for seed := int64(1); seed <= 4; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			g := gen.RandomConnected(24, 60, rng, gen.Options{Weights: mode})
+			s, err := Analyze(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, _ := mst.Kruskal(g)
+			for trial := 0; trial < 200; trial++ {
+				e := graph.EdgeID(rng.Intn(g.M()))
+				w := graph.Weight(rng.Intn(2*g.M()) + 1)
+				pred := s.WouldChange(e, w)
+				patched := g.Clone()
+				if err := patched.SetWeight(e, w); err != nil {
+					t.Fatal(err)
+				}
+				got, err := mst.Kruskal(patched)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if changed := !mst.SameEdges(ref, got); changed != pred {
+					t.Fatalf("mode %v seed %d: edge %d (inTree=%v, w %d -> %d): WouldChange=%v, brute force=%v",
+						mode, seed, e, s.InTree[e], g.Weight(e), w, pred, changed)
+				}
+			}
+		}
+	}
+}
+
+// TestToleranceBoundary probes each edge exactly at and just past its
+// tolerance: within it the MST must not change.
+func TestToleranceBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.RandomConnected(30, 75, rng, gen.Options{Weights: gen.WeightsDistinct})
+	s, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := mst.Kruskal(g)
+	check := func(e graph.EdgeID, w graph.Weight, wantChange bool) {
+		t.Helper()
+		if w < 1 {
+			return
+		}
+		patched := g.Clone()
+		if err := patched.SetWeight(e, w); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := mst.Kruskal(patched)
+		if changed := !mst.SameEdges(ref, got); changed != wantChange {
+			t.Fatalf("edge %d at weight %d: changed=%v, want %v", e, w, changed, wantChange)
+		}
+	}
+	for e := 0; e < g.M(); e++ {
+		limit, bounded := s.Tolerance(graph.EdgeID(e))
+		if !bounded {
+			check(graph.EdgeID(e), 1<<20, false) // bridge: arbitrary growth
+			continue
+		}
+		// Weights are distinct, so crossing strictly past the limit flips
+		// the MST and stopping one short does not.
+		if s.InTree[e] {
+			check(graph.EdgeID(e), limit-1, false)
+			check(graph.EdgeID(e), limit+1, true)
+		} else {
+			check(graph.EdgeID(e), limit+1, false)
+			check(graph.EdgeID(e), limit-1, true)
+		}
+	}
+}
+
+// TestWeightBatchEqualsRebuildAllFamilies is the satellite property test:
+// for every registered family and several seeds, a random batch of
+// weight updates applied incrementally equals a from-scratch rebuild —
+// graph, MST and advice all byte-for-byte.
+func TestWeightBatchEqualsRebuildAllFamilies(t *testing.T) {
+	for _, fam := range gen.Families() {
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed * 1000))
+			g := fam.Build(33, rng, gen.Options{Weights: gen.WeightsDistinct})
+			var batch graph.Batch
+			for k := 0; k < 10; k++ {
+				batch.Weights = append(batch.Weights, graph.WeightUpdate{
+					Edge: graph.EdgeID(rng.Intn(g.M())),
+					W:    graph.Weight(rng.Intn(3*g.M()) + 1),
+				})
+			}
+			inc := g.Clone()
+			if err := inc.ApplyBatch(batch); err != nil {
+				t.Fatalf("%s/%d: %v", fam.Name, seed, err)
+			}
+			// From-scratch rebuild: original topology, ports, IDs; final weights.
+			finalW := make([]graph.Weight, g.M())
+			for e := range finalW {
+				finalW[e] = g.Weight(graph.EdgeID(e))
+			}
+			for _, wu := range batch.Weights {
+				finalW[wu.Edge] = wu.W
+			}
+			ids := make([]int64, g.N())
+			for u := range ids {
+				ids[u] = g.ID(graph.NodeID(u))
+			}
+			b := graph.NewBuilder(g.N()).SetIDs(ids)
+			for e := 0; e < g.M(); e++ {
+				rec := g.Edge(graph.EdgeID(e))
+				b.AddEdge(rec.U, rec.V, finalW[e])
+			}
+			rebuilt, err := b.Build()
+			if err != nil {
+				t.Fatalf("%s/%d: rebuild: %v", fam.Name, seed, err)
+			}
+			if err := graph.Equal(inc, rebuilt); err != nil {
+				t.Fatalf("%s/%d: graph mismatch: %v", fam.Name, seed, err)
+			}
+			ti, err := mst.Kruskal(inc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, _ := mst.Kruskal(rebuilt)
+			if !mst.SameEdges(ti, tr) {
+				t.Fatalf("%s/%d: MST mismatch", fam.Name, seed)
+			}
+			ai, err := core.BuildAdvice(inc, 0, core.DefaultCap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ar, _ := core.BuildAdvice(rebuilt, 0, core.DefaultCap)
+			if u, ok := adviceEqual(ai, ar); !ok {
+				t.Fatalf("%s/%d: advice mismatch at node %d", fam.Name, seed, u)
+			}
+		}
+	}
+}
+
+// TestAdvisorMatchesFullRecompute drives an Advisor through a mixed
+// update stream — tolerant non-tree perturbations (fast path), tree-edge
+// and tolerance-crossing updates and deletions (full path) — and asserts
+// after every batch that its advice is byte-identical to a fresh oracle
+// run on the patched graph.
+func TestAdvisorMatchesFullRecompute(t *testing.T) {
+	for _, fam := range gen.Families() {
+		for seed := int64(1); seed <= 2; seed++ {
+			rng := rand.New(rand.NewSource(seed * 77))
+			g := fam.Build(40, rng, gen.Options{Weights: gen.WeightsDistinct})
+			root := graph.NodeID(rng.Intn(g.N()))
+			a, err := NewAdvisor(g.Clone(), root, core.DefaultCap)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", fam.Name, seed, err)
+			}
+			for step := 0; step < 12; step++ {
+				var batch graph.Batch
+				switch step % 4 {
+				case 0: // tolerant raise of a non-tree edge, if any
+					for e := 0; e < a.Graph().M(); e++ {
+						if !a.Sensitivity().InTree[e] {
+							batch.Weights = append(batch.Weights, graph.WeightUpdate{
+								Edge: graph.EdgeID(e), W: a.Graph().Weight(graph.EdgeID(e)) + 1,
+							})
+							break
+						}
+					}
+				case 1: // random reweight anywhere (may cross tolerances)
+					batch.Weights = append(batch.Weights, graph.WeightUpdate{
+						Edge: graph.EdgeID(rng.Intn(a.Graph().M())),
+						W:    graph.Weight(rng.Intn(2*a.Graph().M()) + 1),
+					})
+				case 2: // tree edge reweight
+					tr := a.Sensitivity().Tree
+					if len(tr) > 0 {
+						e := tr[rng.Intn(len(tr))]
+						batch.Weights = append(batch.Weights, graph.WeightUpdate{
+							Edge: e, W: a.Graph().Weight(e) + graph.Weight(rng.Intn(5)+1),
+						})
+					}
+				case 3: // deletion of a non-tree edge, if any
+					for e := 0; e < a.Graph().M(); e++ {
+						if !a.Sensitivity().InTree[e] {
+							batch.Deletions = append(batch.Deletions, graph.EdgeID(e))
+							break
+						}
+					}
+				}
+				if batch.Empty() {
+					continue
+				}
+				if _, err := a.Update(batch); err != nil {
+					t.Fatalf("%s/%d step %d: %v", fam.Name, seed, step, err)
+				}
+				want, err := core.BuildAdvice(a.Graph(), root, core.DefaultCap)
+				if err != nil {
+					t.Fatalf("%s/%d step %d: full oracle: %v", fam.Name, seed, step, err)
+				}
+				if u, ok := adviceEqual(a.Advice(), want); !ok {
+					t.Fatalf("%s/%d step %d: advisor advice differs from full recompute at node %d",
+						fam.Name, seed, step, u)
+				}
+			}
+			st := a.Stats()
+			if st.Batches == 0 || st.FullRecomputes == 0 {
+				t.Fatalf("%s/%d: update mix not exercised: %+v", fam.Name, seed, st)
+			}
+		}
+	}
+}
+
+// TestAdvisorFastPathTaken pins that tolerant non-tree updates really
+// take the incremental path (on a family with plenty of non-tree edges).
+func TestAdvisorFastPathTaken(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.RandomConnected(64, 192, rng, gen.Options{Weights: gen.WeightsDistinct})
+	a, err := NewAdvisor(g, 0, core.DefaultCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastBatches := 0
+	for e := 0; e < a.Graph().M() && fastBatches < 10; e++ {
+		if a.Sensitivity().InTree[e] {
+			continue
+		}
+		res, err := a.Update(graph.Batch{Weights: []graph.WeightUpdate{
+			{Edge: graph.EdgeID(e), W: a.Graph().Weight(graph.EdgeID(e)) + 2},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Incremental {
+			t.Fatalf("tolerant non-tree raise of edge %d took the full path", e)
+		}
+		fastBatches++
+	}
+	if st := a.Stats(); st.FastPath != fastBatches || fastBatches == 0 {
+		t.Fatalf("fast path count %d, want %d > 0", a.Stats().FastPath, fastBatches)
+	}
+}
+
+// TestAdvisorFastPathReencodes forces a fast-path update that really
+// rewrites advice bits: a tolerant weight change on a non-tree edge
+// incident to a final-fragment root reorders it against the root's
+// parent edge, so the fragment's final-stage rank — and the carrier
+// nodes' advice — must change, byte-identically to a full recompute.
+func TestAdvisorFastPathReencodes(t *testing.T) {
+	reencoded := false
+	for seed := int64(1); seed <= 40 && !reencoded; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomConnected(48, 144, rng, gen.Options{Weights: gen.WeightsDistinct})
+		a, err := NewAdvisor(g, 0, core.DefaultCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fi := range a.detail.Frags {
+			f := a.detail.Frags[fi]
+			if f.ParentPort < 0 {
+				continue
+			}
+			parentKey := a.Graph().Key(a.Graph().HalfAt(f.Root, f.ParentPort).Edge)
+			for p := 0; p < a.Graph().Degree(f.Root); p++ {
+				h := a.Graph().HalfAt(f.Root, p)
+				if p == f.ParentPort || a.sens.InTree[h.Edge] {
+					continue
+				}
+				// Try to move h across the parent edge's weight while
+				// staying above its own tolerance.
+				var newW graph.Weight
+				if parentKey.W < h.W {
+					newW = parentKey.W // drop just to the parent's weight
+				} else {
+					newW = parentKey.W + 1 // raise just past it
+				}
+				if newW < 1 || a.sens.WouldChange(h.Edge, newW) {
+					continue
+				}
+				res, err := a.Update(graph.Batch{Weights: []graph.WeightUpdate{{Edge: h.Edge, W: newW}}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Incremental {
+					t.Fatalf("seed %d: tolerant update took the full path", seed)
+				}
+				if len(res.Changed) == 0 {
+					continue // rank unchanged after all; keep searching
+				}
+				want, err := core.BuildAdvice(a.Graph(), 0, core.DefaultCap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if u, ok := adviceEqual(a.Advice(), want); !ok {
+					t.Fatalf("seed %d: re-encoded advice differs from oracle at node %d", seed, u)
+				}
+				reencoded = true
+			}
+			if reencoded {
+				break
+			}
+		}
+	}
+	if !reencoded {
+		t.Fatal("no fast-path update re-encoded any advice; patchFinals never exercised")
+	}
+}
+
+// TestAdvisorEndToEnd decodes the advisor's incrementally-patched advice
+// with the real Theorem 3 decoder on the patched graph and verifies the
+// exact rooted MST comes out.
+func TestAdvisorEndToEnd(t *testing.T) {
+	for _, famName := range []string{"random", "expander", "lollipop"} {
+		fam, err := gen.ByName(famName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		g := fam.Build(48, rng, gen.Options{Weights: gen.WeightsDistinct})
+		a, err := NewAdvisor(g, 5, core.DefaultCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 6; step++ {
+			// Mixed stream: raises (fast) and random reweights (maybe full).
+			e := graph.EdgeID(rng.Intn(a.Graph().M()))
+			w := a.Graph().Weight(e) + graph.Weight(rng.Intn(7)+1)
+			if _, err := a.Update(graph.Batch{Weights: []graph.WeightUpdate{{Edge: e, W: w}}}); err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.NewNetwork(a.Graph()).Run(core.Scheme{}.NewNode, a.Advice(), sim.Options{})
+			if err != nil {
+				t.Fatalf("%s step %d: %v", famName, step, err)
+			}
+			ok, gotRoot, verr := advice.VerifyOutput(a.Graph(), res.ParentPorts)
+			if !ok || gotRoot != 5 {
+				t.Fatalf("%s step %d: decode not the rooted MST (root %d): %v", famName, step, gotRoot, verr)
+			}
+		}
+	}
+}
+
+// TestScenarioRunsDeterministicAcrossWorkers is the satellite
+// determinism test at scheme level: a core-scheme run under a fault
+// Scenario is byte-identical for any worker count.
+func TestScenarioRunsDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := gen.RandomConnected(80, 240, rng, gen.Options{Weights: gen.WeightsDistinct})
+	s, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NonTreeLinkFailures(s, 8, 2)
+	sc.Events = append(sc.Events, TolerantPerturbations(s, 4, 3, rand.New(rand.NewSource(5))).Events...)
+	full := runtime.GOMAXPROCS(0)
+	if full < 2 {
+		full = 2
+	}
+	run := func(workers int) *advice.Result {
+		res, err := advice.Run(core.Scheme{}, g, 0, sim.Options{
+			Workers: workers, Scenario: sc, RecordRoundStats: true,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	want := run(1)
+	for _, workers := range []int{2, full} {
+		if got := run(workers); !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d diverged:\nseq: %+v\npar: %+v", workers, want, got)
+		}
+	}
+	if want.Sent != want.Messages+want.Dropped+want.LinkDropped {
+		t.Fatalf("conservation violated: %+v", want)
+	}
+}
+
+// TestAdviceSurvivesNonTreeLinkFailures pins the fault-tolerance claim
+// E11 reports: with non-tree links failing after the setup exchange, the
+// Theorem 3 decoder still outputs the exact rooted MST.
+func TestAdviceSurvivesNonTreeLinkFailures(t *testing.T) {
+	for _, famName := range []string{"random", "expander", "wheel"} {
+		fam, err := gen.ByName(famName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(31))
+		g := fam.Build(64, rng, gen.Options{Weights: gen.WeightsDistinct})
+		s, err := Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := NonTreeLinkFailures(s, 10, 2)
+		res, err := advice.Run(core.Scheme{}, g, 0, sim.Options{Scenario: sc})
+		if err != nil {
+			t.Fatalf("%s: %v", famName, err)
+		}
+		if !res.Verified {
+			t.Fatalf("%s: decode under non-tree link failures not verified: %v", famName, res.VerifyErr)
+		}
+	}
+}

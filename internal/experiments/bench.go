@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"mstadvice/internal/core"
+	"mstadvice/internal/dynamic"
+	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
 	"mstadvice/internal/sim"
 )
@@ -31,8 +33,12 @@ type SimBenchResult struct {
 
 // SimBench runs the main scheme end to end (oracle, simulation,
 // verification) on random connected graphs and measures wall time and
-// allocation counts, sequentially and with the full worker pool. Sizes
-// come from the config; nil means the default engine-benchmark sweep.
+// allocation counts, sequentially and with the full worker pool, then
+// appends the dynamic-update benchmark rows (scheme "advice-full" vs
+// "advice-incremental": single-edge weight-update latency of a full
+// oracle rerun against the incremental advisor, at the same sizes).
+// Sizes come from the config; nil means the default engine-benchmark
+// sweep.
 func SimBench(c Config) []SimBenchResult {
 	sizes := c.Sizes
 	if sizes == nil {
@@ -70,7 +76,66 @@ func SimBench(c Config) []SimBenchResult {
 			})
 		}
 	}
+	for _, n := range sizes {
+		out = append(out, dynamicBench(c, n)...)
+	}
 	return out
+}
+
+// dynamicBench measures single-edge-update advice latency at size n:
+// a full oracle rerun versus the incremental advisor fast path, with the
+// Verified column certifying the incremental advice stayed byte-identical
+// to the oracle's.
+func dynamicBench(c Config, n int) []SimBenchResult {
+	g := gen.RandomConnected(n, 3*n, c.rng(int64(n)+917), gen.Options{Weights: gen.WeightsDistinct})
+	adv, err := dynamic.NewAdvisor(g.Clone(), 0, core.DefaultCap)
+	if err != nil {
+		panic(err)
+	}
+	var target graph.EdgeID = -1
+	for e := 0; e < adv.Graph().M(); e++ {
+		if !adv.Sensitivity().InTree[e] {
+			target = graph.EdgeID(e)
+			break
+		}
+	}
+	if target == -1 {
+		return nil
+	}
+	w := adv.Graph().Weight(target)
+
+	const updates = 100
+	start := time.Now()
+	for i := 0; i < updates; i++ {
+		if _, err := adv.Update(graph.Batch{Weights: []graph.WeightUpdate{
+			{Edge: target, W: w + graph.Weight(1+i%2)}}}); err != nil {
+			panic(err)
+		}
+	}
+	incPer := time.Since(start) / updates
+
+	start = time.Now()
+	fresh, err := core.BuildAdvice(adv.Graph(), 0, core.DefaultCap)
+	if err != nil {
+		panic(err)
+	}
+	fullPer := time.Since(start)
+
+	identical := true
+	for u := range fresh {
+		if fresh[u].String() != adv.Advice()[u].String() {
+			identical = false
+			break
+		}
+	}
+	row := SimBenchResult{
+		Family: "random", N: g.N(), M: g.M(), Workers: 1, Verified: identical,
+	}
+	full := row
+	full.Scheme, full.WallNS = "advice-full", fullPer.Nanoseconds()
+	inc := row
+	inc.Scheme, inc.WallNS = "advice-incremental", incPer.Nanoseconds()
+	return []SimBenchResult{full, inc}
 }
 
 func maxInt(a, b int) int {

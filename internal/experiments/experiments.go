@@ -12,10 +12,12 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"mstadvice/internal/advice"
 	"mstadvice/internal/boruvka"
 	"mstadvice/internal/core"
+	"mstadvice/internal/dynamic"
 	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
 	"mstadvice/internal/lowerbound"
@@ -61,8 +63,35 @@ func (c Config) families() []gen.Family {
 	return fams
 }
 
+// allFamilies returns the configured families, or — unlike families(),
+// which defaults to the classic four — every registered family. E11
+// sweeps the whole registry by default.
+func (c Config) allFamilies() []gen.Family {
+	if c.Families == nil {
+		return gen.Families()
+	}
+	return c.families()
+}
+
 func (c Config) rng(salt int64) *rand.Rand {
 	return rand.New(rand.NewSource(c.Seed*1315423911 + salt))
+}
+
+// Validate checks the configuration at the CLI boundary: every family
+// name must be registered and every size positive, so bad flags surface
+// as errors instead of generator panics mid-run.
+func (c Config) Validate() error {
+	for _, name := range c.Families {
+		if _, err := gen.ByName(name); err != nil {
+			return err
+		}
+	}
+	for _, n := range c.Sizes {
+		if n < 1 {
+			return fmt.Errorf("experiments: size %d out of range (need n >= 1)", n)
+		}
+	}
+	return nil
 }
 
 // Registry maps experiment IDs to their runners.
@@ -78,12 +107,13 @@ func Registry() map[string]func(Config) []*report.Table {
 		"e8":  E8Congest,
 		"e9":  E9PhaseDynamics,
 		"e10": E10RoundProfile,
+		"e11": E11Churn,
 	}
 }
 
 // IDs returns the experiment identifiers in order.
 func IDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
 }
 
 func mustRun(s advice.Scheme, g *graph.Graph, root graph.NodeID, opt sim.Options) *advice.Result {
@@ -432,6 +462,147 @@ func E10RoundProfile(c Config) []*report.Table {
 	}
 	t.Note = "window cost doubles per phase (2^(i+1)+2 rounds); the final collect adds ⌈log n⌉+2"
 	return []*report.Table{t}
+}
+
+// E11Churn is the dynamic-network sweep (extension beyond the paper; see
+// DESIGN.md §2.4): per-edge MST sensitivity tolerances, incremental
+// advice recomputation under weight churn measured against the full
+// oracle, and the Theorem 3 decoder running to the exact MST while
+// non-tree links fail mid-run. Unlike the classic experiments it sweeps
+// every registered family by default.
+func E11Churn(c Config) []*report.Table {
+	n := c.sizes()[len(c.sizes())-1]
+	fams := c.allFamilies()
+
+	t1 := report.New(fmt.Sprintf("E11a  MST sensitivity: per-edge tolerances (n≈%d)", n),
+		"family", "n", "m", "bridges", "avg tree slack", "min tree slack", "avg non-tree slack", "fragile non-tree")
+	t2 := report.New(fmt.Sprintf("E11b  incremental advice under weight churn (n≈%d, 24 batches)", n),
+		"family", "incremental", "full recomputes", "nodes re-encoded", "advice == oracle", "µs/incremental", "full oracle [ms]", "speedup")
+	t3 := report.New(fmt.Sprintf("E11c  Theorem 3 decode under link failures (n≈%d, non-tree links down from round 2)", n),
+		"family", "failed links", "rounds", "link-dropped msgs", "undelivered", "exact MST")
+
+	for fi, fam := range fams {
+		g := fam.Build(n, c.rng(29*int64(n)+int64(fi)), gen.Options{Weights: gen.WeightsDistinct})
+		sens, err := dynamic.Analyze(g)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: e11 %s: %v", fam.Name, err))
+		}
+
+		// --- E11a: tolerance statistics.
+		bridges, fragile := 0, 0
+		var treeSlackSum, nonTreeSlackSum int64
+		treeBounded, nonTreeCount := 0, 0
+		minTreeSlack := int64(-1)
+		for e := 0; e < g.M(); e++ {
+			slack, bounded := sens.Slack(graph.EdgeID(e))
+			if sens.InTree[e] {
+				if !bounded {
+					bridges++
+					continue
+				}
+				treeBounded++
+				treeSlackSum += slack
+				if minTreeSlack < 0 || slack < minTreeSlack {
+					minTreeSlack = slack
+				}
+			} else {
+				nonTreeCount++
+				nonTreeSlackSum += slack
+				if slack == 0 {
+					fragile++
+				}
+			}
+		}
+		avg := func(sum int64, cnt int) string {
+			if cnt == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", float64(sum)/float64(cnt))
+		}
+		minStr := "-"
+		if minTreeSlack >= 0 {
+			minStr = fmt.Sprintf("%d", minTreeSlack)
+		}
+		t1.Add(fam.Name, g.N(), g.M(), bridges,
+			avg(treeSlackSum, treeBounded), minStr, avg(nonTreeSlackSum, nonTreeCount), fragile)
+
+		// --- E11b: churn the advisor and time both paths.
+		adv, err := dynamic.NewAdvisor(g.Clone(), 0, core.DefaultCap)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: e11 %s: %v", fam.Name, err))
+		}
+		rng := c.rng(31*int64(n) + 1009*int64(fi))
+		var fastDur time.Duration
+		for k := 0; k < 24; k++ {
+			var batch graph.Batch
+			if k%3 != 2 { // tolerant raise of a random non-tree edge (if any)
+				for tries := 0; tries < 8; tries++ {
+					e := graph.EdgeID(rng.Intn(adv.Graph().M()))
+					if !adv.Sensitivity().InTree[e] {
+						batch.Weights = append(batch.Weights, graph.WeightUpdate{
+							Edge: e, W: adv.Graph().Weight(e) + graph.Weight(rng.Intn(3)+1)})
+						break
+					}
+				}
+			}
+			if batch.Empty() { // tree-heavy family or k%3==2: random reweight
+				e := graph.EdgeID(rng.Intn(adv.Graph().M()))
+				batch.Weights = append(batch.Weights, graph.WeightUpdate{
+					Edge: e, W: graph.Weight(rng.Intn(2*adv.Graph().M()) + 1)})
+			}
+			start := time.Now()
+			res, err := adv.Update(batch)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: e11 %s update %d: %v", fam.Name, k, err))
+			}
+			if res.Incremental {
+				fastDur += time.Since(start)
+			}
+		}
+		start := time.Now()
+		fresh, err := core.BuildAdvice(adv.Graph(), 0, core.DefaultCap)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: e11 %s oracle: %v", fam.Name, err))
+		}
+		fullDur := time.Since(start)
+		identical := len(fresh) == len(adv.Advice())
+		for u := range fresh {
+			if !identical || fresh[u].String() != adv.Advice()[u].String() {
+				identical = false
+				break
+			}
+		}
+		if !identical {
+			panic(fmt.Sprintf("experiments: e11 %s: incremental advice diverged from the oracle", fam.Name))
+		}
+		st := adv.Stats()
+		incStr, speedupStr := "-", "-"
+		if st.FastPath > 0 {
+			perInc := fastDur / time.Duration(st.FastPath)
+			incStr = fmt.Sprintf("%.1f", float64(perInc.Nanoseconds())/1e3)
+			if perInc > 0 {
+				speedupStr = fmt.Sprintf("%.0fx", float64(fullDur)/float64(perInc))
+			}
+		}
+		t2.Add(fam.Name, st.FastPath, st.FullRecomputes, st.NodesReencoded, identical,
+			incStr, fmt.Sprintf("%.2f", float64(fullDur.Nanoseconds())/1e6), speedupStr)
+
+		// --- E11c: decode with non-tree links failing after setup.
+		failed := 12
+		if nonTreeCount < failed {
+			failed = nonTreeCount
+		}
+		sc := dynamic.NonTreeLinkFailures(sens, failed, 2)
+		res := mustRun(core.Scheme{}, g, 0, sim.Options{Scenario: sc})
+		if !res.Verified {
+			panic(fmt.Sprintf("experiments: e11 %s: decode under link failures failed: %v", fam.Name, res.VerifyErr))
+		}
+		t3.Add(fam.Name, failed, res.Rounds, res.LinkDropped, res.Undelivered, res.Verified)
+	}
+	t1.Note = "tree slack: headroom before a tree edge is evicted; fragile non-tree edges sit exactly at their tolerance"
+	t2.Note = "tolerant non-tree churn re-encodes only final-stage carrier nodes; advice verified byte-identical to the oracle"
+	t3.Note = "the decoder talks only over tree edges after setup, so non-tree link failures never disturb the exact MST"
+	return []*report.Table{t1, t2, t3}
 }
 
 // E8Congest contrasts message sizes across schemes against B = ⌈log n⌉ and

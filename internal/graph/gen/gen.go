@@ -340,9 +340,20 @@ func Expander(n, k int, rng *rand.Rand, opt Options) *graph.Graph {
 	return assemble(n, edges, rng, opt)
 }
 
+// SizeError reports an invalid size parameter. The raw generators panic
+// with it; Family.Generate and Build recover it into an ordinary error so
+// CLI boundaries can print a usage message instead of a stack trace.
+type SizeError struct {
+	Min, Got int
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("gen: need at least %d nodes, got %d", e.Min, e.Got)
+}
+
 func requireN(n, min int) {
 	if n < min {
-		panic(fmt.Sprintf("gen: need at least %d nodes, got %d", min, n))
+		panic(&SizeError{Min: min, Got: n})
 	}
 }
 
@@ -350,19 +361,49 @@ func requireN(n, min int) {
 // sweep experiments uniformly across topologies.
 type Family struct {
 	Name string
+	// MinN is the smallest meaningful size; Build clamps n up to it so
+	// sweeps starting below it stay well defined.
+	MinN int
 	// Build returns a graph with approximately n nodes (exact for most
-	// families; grids round to the nearest full rectangle).
+	// families; grids round to the nearest full square, and families
+	// with a structural minimum clamp n up to MinN).
 	Build func(n int, rng *rand.Rand, opt Options) *graph.Graph
 }
 
-// Families returns the standard experiment families.
-func Families() []Family {
-	return []Family{
-		{"path", Path},
-		{"ring", func(n int, rng *rand.Rand, opt Options) *graph.Graph {
-			return Ring(atLeast(n, 3), rng, opt)
-		}},
-		{"grid", func(n int, rng *rand.Rand, opt Options) *graph.Graph {
+// Generate is the error-returning entry point of a family: it validates
+// the size, runs Build, and converts generator panics (bad sizes,
+// internal assembly failures) into errors.
+func (f Family) Generate(n int, rng *rand.Rand, opt Options) (g *graph.Graph, err error) {
+	if f.Build == nil {
+		return nil, fmt.Errorf("gen: family %q has no builder", f.Name)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("gen: family %q: need at least 1 node, got %d", f.Name, n)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			switch v := r.(type) {
+			case error:
+				err = fmt.Errorf("gen: family %q with n=%d: %w", f.Name, n, v)
+			default:
+				err = fmt.Errorf("gen: family %q with n=%d: %v", f.Name, n, v)
+			}
+		}
+	}()
+	return f.Build(n, rng, opt), nil
+}
+
+// registry is the single source of truth for the named families: both
+// Families and ByName read it, so listings and lookups can never
+// disagree. makeRegistry wraps every entry's raw builder so that MinN is
+// also the single source of the clamping.
+var registry = makeRegistry()
+
+func makeRegistry() []Family {
+	fams := []Family{
+		{"path", 1, Path},
+		{"ring", 3, Ring},
+		{"grid", 1, func(n int, rng *rand.Rand, opt Options) *graph.Graph {
 			side := 1
 			for (side+1)*(side+1) <= n {
 				side++
@@ -372,14 +413,46 @@ func Families() []Family {
 			}
 			return Grid(side, side, rng, opt)
 		}},
-		{"tree", RandomTree},
-		{"random", func(n int, rng *rand.Rand, opt Options) *graph.Graph {
+		{"tree", 1, RandomTree},
+		{"random", 1, func(n int, rng *rand.Rand, opt Options) *graph.Graph {
 			return RandomConnected(n, 3*n, rng, opt)
 		}},
-		{"expander", func(n int, rng *rand.Rand, opt Options) *graph.Graph {
-			return Expander(atLeast(n, 3), 3, rng, opt)
+		{"expander", 3, func(n int, rng *rand.Rand, opt Options) *graph.Graph {
+			return Expander(n, 3, rng, opt)
 		}},
+		{"star", 2, Star},
+		{"caterpillar", 2, Caterpillar},
+		{"binarytree", 1, BinaryTree},
+		{"complete", 1, Complete},
+		{"wheel", 4, Wheel},
+		{"lollipop", 4, Lollipop},
 	}
+	for i := range fams {
+		fams[i].Build = clamped(fams[i].MinN, fams[i].Build)
+	}
+	return fams
+}
+
+// clamped lifts a raw generator with a structural minimum size into a
+// family builder that clamps n up to that minimum.
+func clamped(min int, build func(int, *rand.Rand, Options) *graph.Graph) func(int, *rand.Rand, Options) *graph.Graph {
+	return func(n int, rng *rand.Rand, opt Options) *graph.Graph {
+		return build(atLeast(n, min), rng, opt)
+	}
+}
+
+// Families returns every registered family, in registry order.
+func Families() []Family {
+	return append([]Family(nil), registry...)
+}
+
+// Names returns the registered family names, in registry order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, f := range registry {
+		names[i] = f.Name
+	}
+	return names
 }
 
 func atLeast(n, min int) int {
@@ -389,27 +462,24 @@ func atLeast(n, min int) int {
 	return n
 }
 
-// ByName returns the family with the given name.
+// ByName returns the family with the given name. Every name it accepts
+// is listed by Families — they read the same registry.
 func ByName(name string) (Family, error) {
-	for _, f := range Families() {
+	for _, f := range registry {
 		if f.Name == name {
 			return f, nil
 		}
 	}
-	extra := map[string]Family{
-		"star":        {"star", Star},
-		"caterpillar": {"caterpillar", Caterpillar},
-		"binarytree":  {"binarytree", BinaryTree},
-		"complete":    {"complete", Complete},
-		"wheel": {"wheel", func(n int, rng *rand.Rand, opt Options) *graph.Graph {
-			return Wheel(atLeast(n, 4), rng, opt)
-		}},
-		"lollipop": {"lollipop", func(n int, rng *rand.Rand, opt Options) *graph.Graph {
-			return Lollipop(atLeast(n, 4), rng, opt)
-		}},
+	return Family{}, fmt.Errorf("gen: unknown family %q (have %v)", name, Names())
+}
+
+// Build is the error-returning convenience entry point: look a family up
+// by name and generate an instance, with all failures (unknown family,
+// bad size) reported as errors rather than panics.
+func Build(name string, n int, rng *rand.Rand, opt Options) (*graph.Graph, error) {
+	f, err := ByName(name)
+	if err != nil {
+		return nil, err
 	}
-	if f, ok := extra[name]; ok {
-		return f, nil
-	}
-	return Family{}, fmt.Errorf("gen: unknown family %q", name)
+	return f.Generate(n, rng, opt)
 }

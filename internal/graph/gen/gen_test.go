@@ -309,6 +309,62 @@ func TestByName(t *testing.T) {
 	}
 }
 
+// TestRegistryUnified pins the single-registry bugfix: every name ByName
+// accepts is listed by Families (and vice versa), so -family sweeps and
+// listings can never disagree again.
+func TestRegistryUnified(t *testing.T) {
+	names := Names()
+	if len(names) != len(Families()) {
+		t.Fatalf("Names has %d entries, Families %d", len(names), len(Families()))
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			t.Fatalf("duplicate registered family %q", name)
+		}
+		seen[name] = true
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatalf("registered family %q not resolvable: %v", name, err)
+		}
+		if f.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, f.Name)
+		}
+	}
+	for _, want := range []string{"star", "wheel", "lollipop", "caterpillar", "binarytree", "complete"} {
+		if !seen[want] {
+			t.Fatalf("family %q missing from the unified registry", want)
+		}
+	}
+}
+
+// TestGenerate covers the error-returning entry points: valid sizes
+// succeed, invalid sizes and unknown families return errors (never
+// panics).
+func TestGenerate(t *testing.T) {
+	for _, f := range Families() {
+		g, err := f.Generate(10, rng(7), Options{})
+		if err != nil {
+			t.Fatalf("%s.Generate(10): %v", f.Name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s.Generate(10): %v", f.Name, err)
+		}
+		if _, err := f.Generate(0, rng(7), Options{}); err == nil {
+			t.Fatalf("%s.Generate(0): expected error", f.Name)
+		}
+		if _, err := f.Generate(-3, rng(7), Options{}); err == nil {
+			t.Fatalf("%s.Generate(-3): expected error", f.Name)
+		}
+	}
+	if _, err := Build("nope", 8, rng(1), Options{}); err == nil {
+		t.Fatal("Build with unknown family: expected error")
+	}
+	if g, err := Build("ring", 8, rng(1), Options{}); err != nil || g.N() != 8 {
+		t.Fatalf("Build(ring, 8) = %v, %v", g, err)
+	}
+}
+
 func TestGeneratorPanics(t *testing.T) {
 	cases := []func(){
 		func() { Path(0, rng(1), Options{}) },

@@ -1,0 +1,243 @@
+package graph
+
+import "fmt"
+
+// Dynamic updates. A built Graph is immutable to its algorithms, but the
+// dynamic-network subsystem (internal/dynamic) mutates it through the
+// batched API below, which patches the CSR adjacency, the cross-port
+// table and the edge records in place instead of rebuilding the graph
+// from scratch.
+//
+// Semantics:
+//
+//   - a weight update rewrites the edge record and both half-edges in
+//     O(1); ports, edge IDs and the CSR layout are untouched, so the
+//     result is byte-identical to rebuilding the graph from its original
+//     edge list with the new weights;
+//   - a deletion swap-removes: within each endpoint's adjacency the last
+//     port moves into the freed port, and in the edge array the last
+//     edge ID moves into the freed ID. At most two edges change a port
+//     and one edge changes its ID per deletion; all invariants
+//     (Validate) are restored in place. Callers holding edge IDs or
+//     ports across a deletion must account for the renumbering.
+//
+// ApplyBatch validates the whole batch — including connectivity after
+// the deletions — before touching the graph, so a failed batch leaves
+// the graph exactly as it was.
+
+// WeightUpdate assigns a new weight to one edge.
+type WeightUpdate struct {
+	Edge EdgeID
+	W    Weight
+}
+
+// Batch is one atomic set of updates: weight changes are applied first
+// (in order), then deletions. Deletions are identified by edge IDs valid
+// before the batch.
+type Batch struct {
+	Weights   []WeightUpdate
+	Deletions []EdgeID
+}
+
+// Empty reports whether the batch contains no updates.
+func (b Batch) Empty() bool { return len(b.Weights) == 0 && len(b.Deletions) == 0 }
+
+// ApplyBatch applies the batch in place. It returns an error — and leaves
+// the graph unmodified — if any edge ID is out of range, a weight is not
+// positive, a deletion target repeats, or the deletions would disconnect
+// the graph.
+func (g *Graph) ApplyBatch(b Batch) error {
+	m := len(g.edges)
+	for _, wu := range b.Weights {
+		if int(wu.Edge) < 0 || int(wu.Edge) >= m {
+			return fmt.Errorf("graph: weight update on edge %d out of range [0,%d)", wu.Edge, m)
+		}
+		if wu.W < 1 {
+			return fmt.Errorf("graph: weight update on edge %d with non-positive weight %d", wu.Edge, wu.W)
+		}
+	}
+	if len(b.Deletions) > 0 {
+		del := make(map[EdgeID]bool, len(b.Deletions))
+		for _, e := range b.Deletions {
+			if int(e) < 0 || int(e) >= m {
+				return fmt.Errorf("graph: deletion of edge %d out of range [0,%d)", e, m)
+			}
+			if del[e] {
+				return fmt.Errorf("graph: edge %d deleted twice in one batch", e)
+			}
+			del[e] = true
+		}
+		if err := g.connectedWithout(del); err != nil {
+			return err
+		}
+	}
+	for _, wu := range b.Weights {
+		g.setWeight(wu.Edge, wu.W)
+	}
+	if len(b.Deletions) > 0 {
+		// Descending order keeps every remaining target ID valid: a
+		// swap-remove only moves the current last edge, whose ID exceeds
+		// all still-pending (distinct, smaller) targets.
+		targets := append([]EdgeID(nil), b.Deletions...)
+		for i := 1; i < len(targets); i++ {
+			for j := i; j > 0 && targets[j] > targets[j-1]; j-- {
+				targets[j], targets[j-1] = targets[j-1], targets[j]
+			}
+		}
+		for _, e := range targets {
+			g.deleteEdge(e)
+		}
+	}
+	return nil
+}
+
+// SetWeight updates the weight of one edge in place.
+func (g *Graph) SetWeight(e EdgeID, w Weight) error {
+	return g.ApplyBatch(Batch{Weights: []WeightUpdate{{Edge: e, W: w}}})
+}
+
+// DeleteEdge removes one edge in place (see Batch for the renumbering
+// semantics). It fails if the edge is a bridge.
+func (g *Graph) DeleteEdge(e EdgeID) error {
+	return g.ApplyBatch(Batch{Deletions: []EdgeID{e}})
+}
+
+// connectedWithout verifies the graph stays connected once the edges in
+// del are removed.
+func (g *Graph) connectedWithout(del map[EdgeID]bool) error {
+	n := len(g.adj)
+	if n == 0 {
+		return nil
+	}
+	if len(g.edges)-len(del) < n-1 {
+		return fmt.Errorf("graph: deleting %d edges leaves fewer than n-1 = %d", len(del), n-1)
+	}
+	visited := make([]bool, n)
+	visited[0] = true
+	stack := []NodeID{0}
+	seen := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range g.adj[u] {
+			if !visited[h.To] && !del[h.Edge] {
+				visited[h.To] = true
+				seen++
+				stack = append(stack, h.To)
+			}
+		}
+	}
+	if seen != n {
+		return fmt.Errorf("graph: deletion batch disconnects the graph (%d of %d nodes reachable)", seen, n)
+	}
+	return nil
+}
+
+// setWeight rewrites the weight on the edge record and both half-edges.
+func (g *Graph) setWeight(e EdgeID, w Weight) {
+	rec := &g.edges[e]
+	rec.W = w
+	g.adj[rec.U][rec.PU].W = w
+	g.adj[rec.V][rec.PV].W = w
+}
+
+// deleteEdge removes edge e by swap-remove at both endpoints and in the
+// edge array. The CSR offsets are left untouched (each node's segment
+// simply shrinks from the right), so HalfOffset-based flat buffers stay
+// valid.
+func (g *Graph) deleteEdge(e EdgeID) {
+	rec := g.edges[e]
+	g.removeHalf(rec.U, rec.PU)
+	g.removeHalf(rec.V, rec.PV)
+	last := EdgeID(len(g.edges) - 1)
+	if e != last {
+		moved := g.edges[last]
+		g.edges[e] = moved
+		g.adj[moved.U][moved.PU].Edge = e
+		g.adj[moved.V][moved.PV].Edge = e
+	}
+	g.edges = g.edges[:last]
+}
+
+// removeHalf swap-removes the half-edge at (u, port): the half at the
+// last port moves into port, its far endpoint's cross-port entry and its
+// edge record are repointed, and u's adjacency shrinks by one.
+func (g *Graph) removeHalf(u NodeID, port int) {
+	base := int(g.off[u])
+	lastPort := len(g.adj[u]) - 1
+	if port != lastPort {
+		moved := g.adj[u][lastPort]
+		g.adj[u][port] = moved
+		g.dstPort[base+port] = g.dstPort[base+lastPort]
+		// Repoint the moved edge's record and its far endpoint's
+		// cross-port entry at the new port.
+		mrec := &g.edges[moved.Edge]
+		var farPort int
+		if mrec.U == u && mrec.PU == lastPort {
+			mrec.PU = port
+			farPort = mrec.PV
+			g.dstPort[int(g.off[mrec.V])+farPort] = int32(port)
+		} else {
+			mrec.PV = port
+			farPort = mrec.PU
+			g.dstPort[int(g.off[mrec.U])+farPort] = int32(port)
+		}
+	}
+	g.adj[u][lastPort] = Half{}
+	g.adj[u] = g.adj[u][:lastPort]
+}
+
+// Clone returns a deep copy of the graph sharing no storage with g, so
+// one copy can be patched while the other stays pristine.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		adj:     make([][]Half, len(g.adj)),
+		halves:  append([]Half(nil), g.halves...),
+		off:     append([]int32(nil), g.off...),
+		dstPort: append([]int32(nil), g.dstPort...),
+		edges:   append([]Edge(nil), g.edges...),
+		ids:     append([]int64(nil), g.ids...),
+	}
+	for u := range g.adj {
+		base := int(g.off[u])
+		d := len(g.adj[u])
+		c.adj[u] = c.halves[base : base+d : base+d]
+	}
+	return c
+}
+
+// Equal reports whether two graphs are identical in every observable
+// respect: node count, identifiers, edge records (including IDs, ports
+// and weights), per-port adjacency and cross-port tables. It returns a
+// descriptive error naming the first difference, or nil.
+func Equal(a, b *Graph) error {
+	if a.N() != b.N() {
+		return fmt.Errorf("graph: node counts differ: %d vs %d", a.N(), b.N())
+	}
+	if a.M() != b.M() {
+		return fmt.Errorf("graph: edge counts differ: %d vs %d", a.M(), b.M())
+	}
+	for u := 0; u < a.N(); u++ {
+		if a.ids[u] != b.ids[u] {
+			return fmt.Errorf("graph: ID of node %d differs: %d vs %d", u, a.ids[u], b.ids[u])
+		}
+		if len(a.adj[u]) != len(b.adj[u]) {
+			return fmt.Errorf("graph: degree of node %d differs: %d vs %d", u, len(a.adj[u]), len(b.adj[u]))
+		}
+		for p := range a.adj[u] {
+			if a.adj[u][p] != b.adj[u][p] {
+				return fmt.Errorf("graph: half-edge (%d,%d) differs: %+v vs %+v", u, p, a.adj[u][p], b.adj[u][p])
+			}
+			if a.DstPort(NodeID(u), p) != b.DstPort(NodeID(u), p) {
+				return fmt.Errorf("graph: cross-port (%d,%d) differs: %d vs %d",
+					u, p, a.DstPort(NodeID(u), p), b.DstPort(NodeID(u), p))
+			}
+		}
+	}
+	for e := range a.edges {
+		if a.edges[e] != b.edges[e] {
+			return fmt.Errorf("graph: edge %d differs: %+v vs %+v", e, a.edges[e], b.edges[e])
+		}
+	}
+	return nil
+}

@@ -97,8 +97,9 @@ type Ctx struct {
 // them). Output returns the node's MST output — the port of the edge to
 // its parent, or -1 for "I am the root" — and whether the node has
 // terminated. A node may send in the same round it terminates; the run
-// ends once every node reports done (undelivered final messages are
-// dropped, as the computation is over).
+// ends once every node reports done; messages delivered in that final
+// round are never consumed and are reported in Result.Undelivered, so
+// message totals stay conserved.
 type Node interface {
 	Start(ctx *Ctx, view *NodeView) []Send
 	Round(ctx *Ctx, view *NodeView, inbox []Received) []Send
@@ -134,6 +135,10 @@ type Options struct {
 	// may legitimately break — tests assert they never silently emit a
 	// wrong verified answer).
 	DropEvery int
+	// Scenario, when non-nil, schedules deterministic per-round faults —
+	// link failures, repairs and weight perturbations — against named
+	// edges (see Scenario). It composes with DropEvery.
+	Scenario *Scenario
 }
 
 // RoundStats are per-round message statistics.
@@ -144,18 +149,33 @@ type RoundStats struct {
 }
 
 // Result summarises a run.
+//
+// Message totals are conserved: every message a node hands to the router
+// is counted exactly once, so Sent == Messages + Dropped + LinkDropped
+// always holds, and Messages - Undelivered is the number of messages
+// actually consumed by a Round handler.
 type Result struct {
 	Rounds      int   // rounds executed until global termination
 	Pulses      int   // quiescence pulses delivered
-	Messages    int64 // total messages delivered
+	Messages    int64 // total messages delivered into inbox slots
 	TotalBits   int64 // total message bits under the cost model
 	MaxMsgBits  int   // largest single message
 	ParentPorts []int // per-node outputs
 	PerRound    []RoundStats
 	// CongestViolations counts messages exceeding Options.CongestB.
 	CongestViolations int64
+	// Sent counts every message handed to the router, delivered or not.
+	Sent int64
 	// Dropped counts messages removed by Options.DropEvery fault injection.
 	Dropped int64
+	// LinkDropped counts messages discarded because a Scenario had taken
+	// their link down.
+	LinkDropped int64
+	// Undelivered counts messages that were delivered into inbox slots in
+	// the final round but never consumed, because every node had already
+	// terminated (the computation is over, so the engine does not run
+	// another round to hand them out). They are included in Messages.
+	Undelivered int64
 }
 
 // Network binds a graph to the simulator and carries the immutable routing
@@ -177,12 +197,13 @@ func (nw *Network) Cost() CostModel { return nw.cost }
 // padded to a cache line so workers writing their own accumulator do not
 // false-share.
 type acct struct {
-	messages int64
-	bits     int64
-	dropped  int64
-	congest  int64
-	maxBits  int64
-	_        [24]byte
+	messages    int64
+	bits        int64
+	dropped     int64
+	linkDropped int64
+	congest     int64
+	maxBits     int64
+	_           [16]byte
 }
 
 // engine is the per-run state of the round executor. All per-port buffers
@@ -218,6 +239,16 @@ type engine struct {
 	// worker scheduling.
 	prefix []int64
 	routed int64 // messages routed in previous rounds
+
+	// portW backs every view's PortW slice (one allocation); the engine
+	// keeps it so Scenario weight perturbations can patch the observed
+	// weights in place at the round barrier.
+	portW []graph.Weight
+	// Scenario state: events sorted by round, the next one to apply, and
+	// the current per-edge link status.
+	events    []ScenarioEvent
+	nextEvent int
+	linkDown  []bool
 
 	accts []acct
 	res   *Result
@@ -313,11 +344,15 @@ func (e *engine) route(round int) (int, error) {
 					break
 				}
 				gi++
+				h := g.HalfAt(uid, s.Port)
+				if e.linkDown != nil && e.linkDown[h.Edge] {
+					a.linkDropped++
+					continue
+				}
 				if e.opt.DropEvery > 0 && gi%int64(e.opt.DropEvery) == 0 {
 					a.dropped++
 					continue
 				}
-				h := g.HalfAt(uid, s.Port)
 				dp := g.DstPort(uid, s.Port)
 				e.slots[g.HalfOffset(h.To)+dp] = Received{Port: dp, Msg: s.Msg}
 				bits := int64(s.Msg.SizeBits(e.cost))
@@ -340,6 +375,7 @@ func (e *engine) route(round int) (int, error) {
 		roundBits += a.bits
 		e.res.CongestViolations += a.congest
 		e.res.Dropped += a.dropped
+		e.res.LinkDropped += a.linkDropped
 		if a.maxBits > maxBits {
 			maxBits = a.maxBits
 		}
@@ -408,6 +444,14 @@ func (nw *Network) Run(factory Factory, advice []*bitstring.BitString, opt Optio
 		workers = 1
 	}
 
+	var events []ScenarioEvent
+	if opt.Scenario != nil {
+		var err error
+		if events, err = opt.Scenario.validate(g); err != nil {
+			return nil, err
+		}
+	}
+
 	nh := g.NumHalves()
 	portW := make([]graph.Weight, nh) // all views' PortW, one allocation
 	viewStore := make([]NodeView, n)
@@ -429,7 +473,6 @@ func (nw *Network) Run(factory Factory, advice []*bitstring.BitString, opt Optio
 		}
 		viewStore[u] = NodeView{ID: g.ID(uid), N: n, Deg: len(hs), PortW: pw, Advice: adv}
 		views[u] = &viewStore[u]
-		nodes[u] = factory(views[u])
 	}
 
 	e := &engine{
@@ -445,10 +488,22 @@ func (nw *Network) Run(factory Factory, advice []*bitstring.BitString, opt Optio
 		slots:    make([]Received, nh),
 		stamps:   make([]uint32, nh),
 		prefix:   make([]int64, n),
+		portW:    portW,
+		events:   events,
 		accts:    make([]acct, workers),
 		res:      &Result{ParentPorts: make([]int, n)},
 	}
+	if events != nil {
+		e.linkDown = make([]bool, g.M())
+	}
 	res := e.res
+
+	// Round-0 events fire before the factories run, so the initial views
+	// already reflect the scenario's starting state.
+	e.applyEvents(0)
+	for u := 0; u < n; u++ {
+		nodes[u] = factory(views[u])
+	}
 
 	allDone := func() bool {
 		for u := 0; u < n; u++ {
@@ -480,6 +535,7 @@ func (nw *Network) Run(factory Factory, advice []*bitstring.BitString, opt Optio
 			return nil, fmt.Errorf("sim: no termination after %d rounds", maxRounds)
 		}
 		round++
+		e.applyEvents(round)
 		if opt.EnablePulses && inflight == 0 {
 			ctx.Pulse++
 			res.Pulses++
@@ -495,6 +551,14 @@ func (nw *Network) Run(factory Factory, advice []*bitstring.BitString, opt Optio
 		}
 	}
 	res.Rounds = round
+	res.Sent = e.routed
+	// Messages delivered in the final round are never consumed — every
+	// node has terminated. Account for them explicitly so totals conserve.
+	for i := range e.slots {
+		if e.slots[i].Msg != nil {
+			res.Undelivered++
+		}
+	}
 	for u := 0; u < n; u++ {
 		res.ParentPorts[u], _ = nodes[u].Output()
 	}

@@ -484,6 +484,204 @@ func TestNodeViewContents(t *testing.T) {
 	}
 }
 
+// finalSender sends one message on port 0 in the very round it
+// terminates, so the message is delivered but never consumed.
+type finalSender struct{ done bool }
+
+func (f *finalSender) Start(*Ctx, *NodeView) []Send { return nil }
+func (f *finalSender) Round(ctx *Ctx, view *NodeView, inbox []Received) []Send {
+	if ctx.Round == 1 {
+		f.done = true
+		return []Send{{Port: 0, Msg: tmsg{1}}}
+	}
+	return nil
+}
+func (f *finalSender) Output() (int, bool) { return -1, f.done }
+
+// TestUndeliveredFinalMessagesAccounted pins the conservation bugfix:
+// messages sent in the terminating round used to vanish from the
+// accounting; now they surface in Result.Undelivered and the totals
+// conserve.
+func TestUndeliveredFinalMessagesAccounted(t *testing.T) {
+	g := gen.Ring(6, rand.New(rand.NewSource(50)), gen.Options{})
+	res, err := NewNetwork(g).Run(func(*NodeView) Node { return &finalSender{} }, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 6 || res.Messages != 6 {
+		t.Fatalf("sent %d delivered %d, want 6/6", res.Sent, res.Messages)
+	}
+	if res.Undelivered != 6 {
+		t.Fatalf("Undelivered = %d, want all 6 final-round messages", res.Undelivered)
+	}
+	checkConservation(t, res)
+}
+
+// checkConservation asserts the Result's message-accounting invariant.
+func checkConservation(t *testing.T, res *Result) {
+	t.Helper()
+	if res.Sent != res.Messages+res.Dropped+res.LinkDropped {
+		t.Fatalf("conservation violated: sent %d != delivered %d + dropped %d + link-dropped %d",
+			res.Sent, res.Messages, res.Dropped, res.LinkDropped)
+	}
+	if res.Undelivered < 0 || res.Undelivered > res.Messages {
+		t.Fatalf("Undelivered = %d outside [0, %d]", res.Undelivered, res.Messages)
+	}
+}
+
+// TestConservationAcrossModes runs the BFS wave under clean, DropEvery
+// and Scenario conditions and asserts the conservation invariant in each.
+func TestConservationAcrossModes(t *testing.T) {
+	g := gen.Complete(8, rand.New(rand.NewSource(51)), gen.Options{})
+	adv := bfsAdvice(8, 0)
+	opts := []struct {
+		name    string
+		opt     Options
+		mayFail bool // DropEvery starvation is an acceptable failure mode
+	}{
+		{"clean", Options{}, false},
+		{"dropevery", Options{DropEvery: 3, MaxRounds: 100}, true},
+		{"scenario", Options{Scenario: &Scenario{Events: []ScenarioEvent{
+			{Round: 0, Edge: 0, Action: ActionLinkDown},
+			{Round: 1, Edge: 1, Action: ActionLinkDown},
+			{Round: 2, Edge: 0, Action: ActionLinkUp},
+		}}, MaxRounds: 100}, false},
+	}
+	for _, tc := range opts {
+		res, err := NewNetwork(g).Run(newBFSNode, adv, tc.opt)
+		if err != nil {
+			if !tc.mayFail {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			continue
+		}
+		checkConservation(t, res)
+		if tc.name == "scenario" && res.LinkDropped == 0 {
+			t.Fatal("scenario with failed links dropped nothing")
+		}
+	}
+}
+
+// TestScenarioLinkDown fails every ring edge incident to node 0's ports
+// before the run starts: the BFS wave from node 0 must starve (it can
+// never reach its neighbours), surfacing as a MaxRounds error — the
+// protocol fails loudly, not silently wrong.
+func TestScenarioLinkDown(t *testing.T) {
+	g := gen.Ring(5, rand.New(rand.NewSource(52)), gen.Options{})
+	var events []ScenarioEvent
+	for p := 0; p < g.Degree(0); p++ {
+		events = append(events, ScenarioEvent{Round: 0, Edge: g.HalfAt(0, p).Edge, Action: ActionLinkDown})
+	}
+	_, err := NewNetwork(g).Run(newBFSNode, bfsAdvice(5, 0), Options{
+		Scenario:  &Scenario{Events: events},
+		MaxRounds: 30,
+	})
+	if err == nil {
+		t.Fatal("expected starvation with the root cut off")
+	}
+}
+
+// weightWatcher records the weight it observes on port 0 each round and
+// terminates after round 3.
+type weightWatcher struct {
+	view *NodeView
+	seen []graph.Weight
+	done bool
+}
+
+func (w *weightWatcher) Start(*Ctx, *NodeView) []Send { return nil }
+func (w *weightWatcher) Round(ctx *Ctx, view *NodeView, inbox []Received) []Send {
+	w.seen = append(w.seen, view.PortW[0])
+	if ctx.Round >= 3 {
+		w.done = true
+		return nil
+	}
+	return []Send{{Port: 0, Msg: tmsg{0}}} // keep the run alive
+}
+func (w *weightWatcher) Output() (int, bool) { return -1, w.done }
+
+// TestScenarioWeightPerturbation checks a weight event becomes visible in
+// both endpoints' views exactly at its round, and that the graph itself
+// is untouched.
+func TestScenarioWeightPerturbation(t *testing.T) {
+	g := graph.NewBuilder(2).AddEdge(0, 1, 5).MustBuild()
+	watchers := map[int64]*weightWatcher{}
+	factory := func(view *NodeView) Node {
+		w := &weightWatcher{view: view}
+		watchers[view.ID] = w
+		return w
+	}
+	res, err := NewNetwork(g).Run(factory, nil, Options{
+		Scenario: &Scenario{Events: []ScenarioEvent{{Round: 2, Edge: 0, Action: ActionSetWeight, W: 9}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, res)
+	for id, w := range watchers {
+		want := []graph.Weight{5, 9, 9}
+		if len(w.seen) != len(want) {
+			t.Fatalf("node %d observed %v", id, w.seen)
+		}
+		for i := range want {
+			if w.seen[i] != want[i] {
+				t.Fatalf("node %d observed %v, want %v", id, w.seen, want)
+			}
+		}
+	}
+	if g.Weight(0) != 5 {
+		t.Fatalf("scenario mutated the graph: weight %d", g.Weight(0))
+	}
+}
+
+// TestScenarioDeterministicAcrossWorkers: scenario fault accounting uses
+// the same barrier-applied state for every worker count, so results are
+// byte-identical.
+func TestScenarioDeterministicAcrossWorkers(t *testing.T) {
+	g := gen.RandomConnected(200, 600, rand.New(rand.NewSource(53)), gen.Options{})
+	sc := &Scenario{Events: []ScenarioEvent{
+		{Round: 1, Edge: 3, Action: ActionLinkDown},
+		{Round: 1, Edge: 17, Action: ActionLinkDown},
+		{Round: 2, Edge: 3, Action: ActionLinkUp},
+		{Round: 2, Edge: 40, Action: ActionSetWeight, W: 77},
+	}}
+	run := func(workers int) *Result {
+		res, err := NewNetwork(g).Run(func(*NodeView) Node { return &chatter{} }, nil,
+			Options{Workers: workers, Scenario: sc, MaxRounds: 2000, RecordRoundStats: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	want := run(1)
+	if want.LinkDropped == 0 {
+		t.Fatal("scenario dropped nothing; test is vacuous")
+	}
+	checkConservation(t, want)
+	for _, workers := range []int{2, 4, 8} {
+		if got := run(workers); !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d diverged:\nseq: %+v\npar: %+v", workers, want, got)
+		}
+	}
+}
+
+// TestScenarioValidation rejects malformed scenarios up front.
+func TestScenarioValidation(t *testing.T) {
+	g := gen.Ring(4, rand.New(rand.NewSource(54)), gen.Options{})
+	bad := []*Scenario{
+		{Events: []ScenarioEvent{{Round: -1, Edge: 0, Action: ActionLinkDown}}},
+		{Events: []ScenarioEvent{{Round: 0, Edge: 99, Action: ActionLinkDown}}},
+		{Events: []ScenarioEvent{{Round: 0, Edge: 0, Action: ActionSetWeight, W: 0}}},
+		{Events: []ScenarioEvent{{Round: 0, Edge: 0, Action: ScenarioAction(42)}}},
+	}
+	for i, sc := range bad {
+		_, err := NewNetwork(g).Run(func(*NodeView) Node { return &silent{} }, nil, Options{Scenario: sc})
+		if err == nil {
+			t.Fatalf("scenario %d accepted", i)
+		}
+	}
+}
+
 func BenchmarkEngineBFS(b *testing.B) {
 	g := gen.RandomConnected(2000, 8000, rand.New(rand.NewSource(1)), gen.Options{})
 	adv := bfsAdvice(g.N(), 0)

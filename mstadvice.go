@@ -14,7 +14,12 @@
 //     12 bits, Θ(log n) rounds), and the no-advice baselines LocalGather
 //     (Θ(D) rounds, huge messages) and NoAdvice (GHS-style distributed
 //     Borůvka);
-//   - the Theorem 1 lower-bound machinery (BuildGn, NewLowerBoundFamily).
+//   - the Theorem 1 lower-bound machinery (BuildGn, NewLowerBoundFamily);
+//   - the dynamic-network subsystem: batched in-place graph updates
+//     (Batch, Graph.ApplyBatch), the MST sensitivity oracle
+//     (AnalyzeSensitivity), incremental advice maintenance
+//     (NewDynamicAdvisor) and deterministic fault scenarios for the
+//     simulator (Scenario, NonTreeLinkFailures).
 //
 // See README.md for a tour, DESIGN.md for the architecture and
 // EXPERIMENTS.md for the paper-versus-measured record.
@@ -26,6 +31,7 @@ import (
 	"mstadvice/internal/advice"
 	"mstadvice/internal/bitstring"
 	"mstadvice/internal/core"
+	"mstadvice/internal/dynamic"
 	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
 	"mstadvice/internal/lowerbound"
@@ -181,6 +187,57 @@ func BuildGn(n int) (*Gn, error) { return lowerbound.BuildGn(n, 0) }
 // NewLowerBoundFamily builds the k = n-i instance family at spine node
 // u_i of G_n.
 func NewLowerBoundFamily(n, i int) (*LowerBoundFamily, error) { return lowerbound.NewFamily(n, i) }
+
+// Dynamic-network re-exports: batched in-place updates, the MST
+// sensitivity oracle, the incremental advice advisor and the simulator's
+// deterministic fault scenarios (see internal/dynamic and DESIGN.md
+// §2.4).
+type (
+	// Batch is one atomic set of graph updates: weight changes, then
+	// deletions. Apply with Graph.ApplyBatch or through a DynamicAdvisor.
+	Batch = graph.Batch
+	// WeightUpdate assigns a new weight to one edge.
+	WeightUpdate = graph.WeightUpdate
+	// Sensitivity is the per-edge MST tolerance analysis of a snapshot.
+	Sensitivity = dynamic.Sensitivity
+	// DynamicAdvisor keeps Theorem 3 advice up to date across updates,
+	// re-encoding only nodes whose fragment structure changed.
+	DynamicAdvisor = dynamic.Advisor
+	// Scenario is a deterministic fault schedule for a run (link
+	// failures, repairs, weight perturbations); set RunOptions.Scenario.
+	Scenario = sim.Scenario
+	// ScenarioEvent is one scheduled fault.
+	ScenarioEvent = sim.ScenarioEvent
+	// ScenarioAction is the kind of a scheduled fault.
+	ScenarioAction = sim.ScenarioAction
+)
+
+// Scenario actions.
+const (
+	ActionLinkDown  = sim.ActionLinkDown
+	ActionLinkUp    = sim.ActionLinkUp
+	ActionSetWeight = sim.ActionSetWeight
+)
+
+// AnalyzeSensitivity computes the MST and per-edge tolerances of g: how
+// far a tree edge's weight can rise (to its replacement edge's weight),
+// or a non-tree edge's fall (to its cycle's tree-path maximum), before
+// the MST changes.
+func AnalyzeSensitivity(g *Graph) (*Sensitivity, error) { return dynamic.Analyze(g) }
+
+// NewDynamicAdvisor builds the incremental advice maintainer for g
+// rooted at root, with the paper's default advice budget. The advisor
+// takes ownership of g; mutate it only through its Update method.
+func NewDynamicAdvisor(g *Graph, root NodeID) (*DynamicAdvisor, error) {
+	return dynamic.NewAdvisor(g, root, core.DefaultCap)
+}
+
+// NonTreeLinkFailures builds a deterministic Scenario failing k non-tree
+// links from the given round onward; the Theorem 3 decoder provably
+// survives it once setup is over (round >= 2).
+func NonTreeLinkFailures(s *Sensitivity, k, round int) *Scenario {
+	return dynamic.NonTreeLinkFailures(s, k, round)
+}
 
 // TreeLabel is a proof-labeling certificate (root identifier, depth) for
 // one node of a claimed rooted spanning tree.
