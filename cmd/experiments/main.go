@@ -7,16 +7,22 @@
 //	experiments -sizes 16,128         # custom n sweep
 //	experiments -bench-sim BENCH_sim.json
 //	                                  # engine micro-benchmark, machine-readable
+//	experiments -bench-oracle BENCH_oracle.json
+//	                                  # oracle-pipeline benchmark (n up to 10⁶)
+//	experiments -bench-oracle /tmp/now.json -sizes 10000 \
+//	            -bench-baseline BENCH_oracle.json
+//	                                  # CI smoke: fail on >2x regression
 //
-// With -bench-sim the command skips the tables, runs the round-engine
-// benchmark (main scheme, sequential and parallel, at -sizes or the
-// default engine sweep) plus the dynamic single-edge-update benchmark,
-// and writes the results as JSON, so successive revisions leave a
-// comparable perf trajectory in version control.
+// With -bench-sim / -bench-oracle the command skips the tables, runs the
+// corresponding benchmark (see internal/experiments.SimBench and
+// OracleBench) and writes the rows as JSON. Running it with the
+// committed file names regenerates the in-tree perf trajectory;
+// -bench-baseline additionally compares the fresh rows against a
+// committed baseline and exits non-zero on any wall-time or allocation
+// regression beyond -bench-max-factor.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,11 +34,14 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("e", "all", "comma-separated experiment ids (e1..e11) or 'all'")
-		sizes    = flag.String("sizes", "", "comma-separated n sweep (default 16,64,256,1024)")
-		families = flag.String("families", "", "comma-separated families (default path,grid,random,expander)")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		benchSim = flag.String("bench-sim", "", "run the engine benchmark and write JSON to this file instead of tables")
+		which       = flag.String("e", "all", "comma-separated experiment ids (e1..e11) or 'all'")
+		sizes       = flag.String("sizes", "", "comma-separated n sweep (default 16,64,256,1024)")
+		families    = flag.String("families", "", "comma-separated families (default path,grid,random,expander)")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		benchSim    = flag.String("bench-sim", "", "run the engine benchmark and write JSON to this file instead of tables")
+		benchOracle = flag.String("bench-oracle", "", "run the oracle-pipeline benchmark and write JSON to this file instead of tables")
+		benchBase   = flag.String("bench-baseline", "", "compare benchmark rows against this committed baseline JSON and fail on regression")
+		benchFactor = flag.Float64("bench-max-factor", 2.0, "regression threshold for -bench-baseline (ratio to baseline)")
 	)
 	flag.Parse()
 
@@ -53,17 +62,41 @@ func main() {
 		fail("%v", err)
 	}
 
-	if *benchSim != "" {
-		results := experiments.SimBench(cfg)
-		blob, err := json.MarshalIndent(results, "", "  ")
-		if err != nil {
-			fail("%v", err)
+	if *benchBase != "" && *benchSim == "" && *benchOracle == "" {
+		fail("-bench-baseline needs -bench-sim and/or -bench-oracle to produce rows to compare")
+	}
+	if *benchSim != "" || *benchOracle != "" {
+		var all []experiments.BenchResult
+		if *benchSim != "" {
+			rows := experiments.SimBench(cfg)
+			if err := experiments.WriteBench(*benchSim, rows); err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), *benchSim)
+			all = append(all, rows...)
 		}
-		blob = append(blob, '\n')
-		if err := os.WriteFile(*benchSim, blob, 0o644); err != nil {
-			fail("%v", err)
+		if *benchOracle != "" {
+			rows := experiments.OracleBench(cfg)
+			if err := experiments.WriteBench(*benchOracle, rows); err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), *benchOracle)
+			all = append(all, rows...)
 		}
-		fmt.Printf("wrote %d benchmark rows to %s\n", len(results), *benchSim)
+		if *benchBase != "" {
+			baseline, err := experiments.ReadBench(*benchBase)
+			if err != nil {
+				fail("%v", err)
+			}
+			regressions := experiments.CompareBaseline(all, baseline, *benchFactor)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
+			}
+			if len(regressions) > 0 {
+				fail("%d benchmark regression(s) against %s", len(regressions), *benchBase)
+			}
+			fmt.Printf("no regressions against %s (factor %.1f)\n", *benchBase, *benchFactor)
+		}
 		return
 	}
 

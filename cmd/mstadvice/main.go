@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"sort"
+	"slices"
 
 	"mstadvice"
 
@@ -194,11 +194,14 @@ func printSensitivity(g *mstadvice.Graph, family string, mode mstadvice.WeightMo
 			frags = append(frags, frag{graph.EdgeID(e), slack})
 		}
 	}
-	sort.Slice(frags, func(a, b int) bool {
-		if frags[a].slack != frags[b].slack {
-			return frags[a].slack < frags[b].slack
+	slices.SortFunc(frags, func(a, b frag) int {
+		if a.slack != b.slack {
+			if a.slack < b.slack {
+				return -1
+			}
+			return 1
 		}
-		return frags[a].e < frags[b].e
+		return int(a.e - b.e)
 	})
 	if len(frags) > 10 {
 		frags = frags[:10]

@@ -97,6 +97,14 @@ type PulseNeeder interface {
 	NeedsPulses() bool
 }
 
+// WorkerAdviser is implemented by schemes whose oracles can run on a
+// worker pool with byte-identical output; Run forwards
+// sim.Options.Workers to them so one knob sizes both halves of the
+// pipeline.
+type WorkerAdviser interface {
+	AdviseWorkers(g *graph.Graph, root graph.NodeID, workers int) ([]*bitstring.BitString, error)
+}
+
 // Run executes scheme end to end on g with the designated root and
 // verifies the output. Engine failures (non-termination, protocol
 // violations) are returned as errors; verification failures are reported
@@ -105,7 +113,17 @@ func Run(scheme Scheme, g *graph.Graph, root graph.NodeID, opt sim.Options) (*Re
 	if p, ok := scheme.(PulseNeeder); ok && p.NeedsPulses() {
 		opt.EnablePulses = true
 	}
-	assignment, err := scheme.Advise(g, root)
+	var assignment []*bitstring.BitString
+	var err error
+	if wa, ok := scheme.(WorkerAdviser); ok {
+		workers := opt.Workers
+		if opt.Sequential {
+			workers = 1 // mirror the engine's resolution of the knob
+		}
+		assignment, err = wa.AdviseWorkers(g, root, workers)
+	} else {
+		assignment, err = scheme.Advise(g, root)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("advice: oracle %s: %w", scheme.Name(), err)
 	}

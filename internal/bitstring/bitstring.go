@@ -84,9 +84,25 @@ func (s *BitString) AppendUint(v uint64, width int) {
 
 // Append appends all bits of t to s.
 func (s *BitString) Append(t *BitString) {
-	for i := 0; i < t.Len(); i++ {
+	s.AppendRange(t, 0, t.Len())
+}
+
+// AppendRange appends bits [from, to) of t to s without allocating any
+// intermediate string (the in-place replacement for Append(t.Slice(...))
+// on the oracle's packing hot path).
+func (s *BitString) AppendRange(t *BitString, from, to int) {
+	if from < 0 || to < from || to > t.Len() {
+		panic(fmt.Sprintf("bitstring: bad range [%d,%d) of %d", from, to, t.Len()))
+	}
+	for i := from; i < to; i++ {
 		s.AppendBit(t.Bit(i))
 	}
+}
+
+// Reset truncates s to the empty string, keeping its capacity for reuse.
+func (s *BitString) Reset() {
+	s.words = s.words[:0]
+	s.n = 0
 }
 
 // Slice returns a copy of bits [from, to).
@@ -175,6 +191,46 @@ func Parse(str string) (*BitString, error) {
 	}
 	return s, nil
 }
+
+// Arena is a slab allocator for a fixed population of BitStrings with a
+// common capacity, used by the oracle pipeline to hand out n per-node
+// advice strings from two allocations instead of 2n. Every string starts
+// empty with room for bitsPer bits; appending within that capacity never
+// allocates (a string that outgrows it falls back to an ordinary heap
+// append and stays correct).
+type Arena struct {
+	strings []BitString
+	words   []uint64
+	wpc     int // words per string
+}
+
+// NewArena returns an arena of count empty strings, each with capacity
+// for bitsPer bits.
+func NewArena(count, bitsPer int) *Arena {
+	if count < 0 {
+		count = 0
+	}
+	if bitsPer < 1 {
+		bitsPer = 1
+	}
+	wpc := (bitsPer + 63) / 64
+	a := &Arena{
+		strings: make([]BitString, count),
+		words:   make([]uint64, count*wpc),
+		wpc:     wpc,
+	}
+	for i := range a.strings {
+		a.strings[i].words = a.words[i*wpc : i*wpc : (i+1)*wpc]
+	}
+	return a
+}
+
+// Len returns the number of strings in the arena.
+func (a *Arena) Len() int { return len(a.strings) }
+
+// At returns the i-th string. Distinct indices alias distinct storage, so
+// concurrent appends to different indices are safe.
+func (a *Arena) At(i int) *BitString { return &a.strings[i] }
 
 // Reader is a consuming cursor over a BitString. It realises the paper's
 // cons(u, i) pointer: Pos reports how many bits have been consumed.

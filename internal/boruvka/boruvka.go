@@ -18,14 +18,27 @@
 // T_i), its selection (chooser node, selected edge, up/down orientation),
 // and the BFS ordering of its fragment tree T_F. These are exactly the
 // quantities the paper's oracles encode into advice.
+//
+// The phase kernel is built for n = 10⁶-scale graphs. The cross-fragment
+// edge list is contracted in place: each phase relabels the surviving
+// edges' endpoints to dense fragment IDs and drops intra-fragment edges,
+// so a phase costs O(live + fragments), not O(n + m). Fragment
+// partitions are flat index arrays filled by counting passes (no maps),
+// and the minimum-outgoing-edge selection runs as per-worker scans over
+// contiguous ranges of the live list merged at a barrier. Because the
+// global order is a strict total order, every fragment's minimum is
+// unique, so the merged result — and hence the whole Decomposition — is
+// byte-identical for any worker count (the same contract the round
+// engine in internal/sim honors).
 package boruvka
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"mstadvice/internal/graph"
 	"mstadvice/internal/mst"
+	"mstadvice/internal/par"
 	"mstadvice/internal/unionfind"
 )
 
@@ -76,6 +89,20 @@ func (p *Phase) ActiveCount() int {
 	return c
 }
 
+// Options tune a decomposition run without changing its result.
+type Options struct {
+	// Workers is the phase-kernel pool size; 0 means GOMAXPROCS. The
+	// Decomposition is byte-identical for any value.
+	Workers int
+	// KeepPhases, when positive, records only the first KeepPhases phase
+	// records (the merge simulation always runs to completion, so
+	// TotalPhases, TreeEdges, ParentPort, ParentEdge, SelPhase and Final
+	// are unaffected). The Theorem 3 oracle needs only the first
+	// ⌈log log n⌉ + 1 phases, which at n = 10⁶ skips the annotation and
+	// storage of ~14 of ~20 phases. 0 records every phase.
+	KeepPhases int
+}
+
 // Decomposition is the full record of a run of the Borůvka variant.
 type Decomposition struct {
 	G    *graph.Graph
@@ -83,8 +110,13 @@ type Decomposition struct {
 
 	// Phases[i-1] describes phase i. The last phase is the one whose merges
 	// produced a single fragment; phases with no active fragments (possible
-	// when early merges overshoot) appear with no selections.
+	// when early merges overshoot) appear with no selections. With
+	// Options.KeepPhases only a leading subset is present.
 	Phases []Phase
+
+	// TotalPhases is the number of phases the construction executed,
+	// regardless of how many were recorded.
+	TotalPhases int
 
 	// Final is the single spanning fragment reached after the last phase,
 	// with its BFS order (used by the final stage of the Theorem 3 scheme).
@@ -101,33 +133,68 @@ type Decomposition struct {
 	// 0 for non-tree edges.
 	SelPhase []int
 
-	// fragmentBFS scratch, reused across fragments. Indexed by NodeID and
-	// reset per fragment by walking the fragment's own node list, so reuse
-	// costs O(|F|), not O(n).
-	bfsStart []int32        // start of a parent's child segment in bfsKids
-	bfsFill  []int32        // next free index in that segment
-	bfsCnt   []int32        // number of in-fragment children
-	bfsKids  []graph.NodeID // child segments, each sorted by (weight, port)
+	// Flattened views of the rooted tree, computed once and shared by all
+	// phase annotations: the T-parent of u (-1 for the root), the weight
+	// of u's parent edge, and its port at the parent.
+	parentNode []int32
+	parentW    []graph.Weight
+	parentPt   []int32
+	// Endpoints of TreeEdges (parallel slices), for the per-phase
+	// tree-of-fragments construction.
+	treeU, treeV []int32
+
+	// fragmentBFS child-count scratch, indexed by NodeID. Distinct
+	// fragments touch distinct nodes, so parallel per-fragment BFS builds
+	// share these safely.
+	bfsStart []int32 // start of a parent's child segment in the kids arena
+	bfsFill  []int32 // next free index in that segment
+	bfsCnt   []int32 // number of in-fragment children
 }
 
-// NumPhases returns the number of phases executed.
+// NumPhases returns the number of recorded phases (the number executed,
+// unless Options.KeepPhases truncated the record; see TotalPhases).
 func (d *Decomposition) NumPhases() int { return len(d.Phases) }
 
 // FragmentsAtStart returns the fragment state at the start of phase i
 // (1-based). i may be NumPhases()+1, which yields the final single
-// fragment.
+// fragment when all phases were recorded.
 func (d *Decomposition) FragmentsAtStart(i int) []Fragment {
 	if i >= 1 && i <= len(d.Phases) {
 		return d.Phases[i-1].Fragments
 	}
-	if i == len(d.Phases)+1 {
+	if i == len(d.Phases)+1 && len(d.Phases) == d.TotalPhases {
 		return []Fragment{d.Final}
 	}
 	panic(fmt.Sprintf("boruvka: phase %d out of range [1,%d]", i, len(d.Phases)+1))
 }
 
+// rawPhase is the pass-1 record of one phase: the partition as flat
+// arrays (members of fragment f are memFlat[memOff[f]:memOff[f+1]],
+// ascending) plus the selections.
+type rawPhase struct {
+	fragOf     []FragID
+	memOff     []int32
+	memFlat    []graph.NodeID
+	active     []bool
+	selEdge    []graph.EdgeID // fragment -> selected edge (-1 if none)
+	selChooser []graph.NodeID
+}
+
+// liveEdge is one entry of the contracted cross-fragment edge list: the
+// original edge plus its endpoints relabelled to current fragment IDs.
+type liveEdge struct {
+	e    int32 // EdgeID
+	u, v int32 // endpoint fragment IDs for the current phase
+}
+
 // Decompose runs the variant on a connected graph and records every phase.
 func Decompose(g *graph.Graph, root graph.NodeID) (*Decomposition, error) {
+	return DecomposeOpt(g, root, Options{})
+}
+
+// DecomposeOpt is Decompose with an explicit worker count and phase
+// retention; the result is byte-identical for any Options.Workers.
+func DecomposeOpt(g *graph.Graph, root graph.NodeID, opt Options) (*Decomposition, error) {
 	n := g.N()
 	if n == 0 {
 		return nil, fmt.Errorf("boruvka: empty graph")
@@ -135,80 +202,171 @@ func Decompose(g *graph.Graph, root graph.NodeID) (*Decomposition, error) {
 	if int(root) < 0 || int(root) >= n {
 		return nil, fmt.Errorf("boruvka: root %d out of range", root)
 	}
+	m := g.M()
+	workers := par.Workers(opt.Workers)
+
+	// Global-order keys, computed once so selection comparisons are three
+	// scalar compares instead of repeated key construction.
+	keys := make([]graph.GlobalKey, m)
+	par.Ranges(workers, m, func(_, lo, hi int) {
+		for e := lo; e < hi; e++ {
+			keys[e] = g.Key(graph.EdgeID(e))
+		}
+	})
+	edgeLess := func(a, b int32) bool { return keys[a].Less(keys[b]) }
+
+	// Live edge list with contracted endpoints. Before phase 1 fragments
+	// are singletons, so fragment IDs coincide with node IDs.
+	live := make([]liveEdge, m)
+	par.Ranges(workers, m, func(_, lo, hi int) {
+		for ei := lo; ei < hi; ei++ {
+			rec := g.Edge(graph.EdgeID(ei))
+			live[ei] = liveEdge{int32(ei), int32(rec.U), int32(rec.V)}
+		}
+	})
 
 	// ---- Pass 1: simulate the phases, recording partitions and selections.
 	dsu := unionfind.New(n)
-	type rawPhase struct {
-		fragOf     []FragID         // node -> fragment at phase start
-		members    [][]graph.NodeID // fragment -> nodes
-		active     []bool
-		selEdge    []graph.EdgeID // fragment -> selected edge (-1 if none)
-		selChooser []graph.NodeID
-	}
 	var raws []rawPhase
-	var treeEdges []graph.EdgeID
-	selPhase := make([]int, g.M())
+	treeEdges := make([]graph.EdgeID, 0, n-1)
+	selPhase := make([]int, m)
 
-	snapshot := func() ([]FragID, [][]graph.NodeID) {
-		groups := dsu.Groups()
-		fragOf := make([]FragID, n)
-		members := make([][]graph.NodeID, len(groups))
-		for fi, grp := range groups {
-			members[fi] = make([]graph.NodeID, len(grp))
-			for j, u := range grp {
-				members[fi][j] = graph.NodeID(u)
-				fragOf[u] = FragID(fi)
-			}
-		}
-		return fragOf, members
+	// Contracted fragment state: numFrags current fragments, repNode[f]
+	// the smallest node of fragment f, fsize[f] its node count. rootFrag/
+	// rootStamp map DSU roots to dense new-fragment IDs without a map;
+	// fill drives counting sorts; bests hold per-worker selection minima.
+	numFrags := n
+	repNode := make([]int32, n)
+	fsize := make([]int32, n)
+	oldToNew := make([]int32, n)
+	active := make([]bool, n)
+	for u := 0; u < n; u++ {
+		repNode[u] = int32(u)
+		fsize[u] = 1
 	}
+	rootFrag := make([]int32, n)
+	rootStamp := make([]int32, n)
+	fill := make([]int32, n)
+	// Per-worker selection minima, allocated lazily for the workers a
+	// phase actually engages (a length-n array per worker is real memory
+	// on many-core hosts, and small graphs never engage more than one).
+	bests := make([][]int32, workers)
 
+	phases := 0
 	for i := 1; dsu.Sets() > 1; i++ {
 		if i > n+1 {
 			return nil, fmt.Errorf("boruvka: phase bound exceeded (internal error)")
 		}
-		fragOf, members := snapshot()
-		numFrags := len(members)
-		active := make([]bool, numFrags)
-		limit := 1 << uint(min(i, 62))
-		for fi := range members {
-			active[fi] = len(members[fi]) < limit
-		}
-		selEdge := make([]graph.EdgeID, numFrags)
-		selChooser := make([]graph.NodeID, numFrags)
-		for fi := range selEdge {
-			selEdge[fi] = -1
-			selChooser[fi] = -1
-		}
-		// Minimum outgoing edge per active fragment under the global order.
-		for ei := 0; ei < g.M(); ei++ {
-			e := graph.EdgeID(ei)
-			rec := g.Edge(e)
-			fu, fv := fragOf[rec.U], fragOf[rec.V]
-			if fu == fv {
-				continue
+		phases = i
+		record := opt.KeepPhases <= 0 || len(raws) < opt.KeepPhases
+
+		if i > 1 {
+			// Contract: relabel last phase's fragments to dense new IDs in
+			// order of first appearance. Old IDs are ordered by smallest
+			// member node and scanned ascending, so new IDs are too.
+			stamp := int32(i)
+			newNum := int32(0)
+			for f := 0; f < numFrags; f++ {
+				r := dsu.Find(int(repNode[f]))
+				if rootStamp[r] != stamp {
+					rootStamp[r] = stamp
+					rootFrag[r] = newNum
+					repNode[newNum] = repNode[f]
+					fsize[newNum] = int32(dsu.SizeOf(r))
+					newNum++
+				}
+				oldToNew[f] = rootFrag[r]
 			}
-			if active[fu] && (selEdge[fu] == -1 || g.EdgeLess(e, selEdge[fu])) {
-				selEdge[fu] = e
-				selChooser[fu] = rec.U
+			numFrags = int(newNum)
+			// Relabel the live list and drop intra-fragment edges.
+			k := 0
+			for _, le := range live {
+				nu, nv := oldToNew[le.u], oldToNew[le.v]
+				if nu != nv {
+					live[k] = liveEdge{le.e, nu, nv}
+					k++
+				}
 			}
-			if active[fv] && (selEdge[fv] == -1 || g.EdgeLess(e, selEdge[fv])) {
-				selEdge[fv] = e
-				selChooser[fv] = rec.V
+			live = live[:k]
+		}
+		nf := numFrags
+
+		limit := int32(0)
+		if i < 31 {
+			limit = int32(1) << uint(i)
+		}
+		for f := 0; f < nf; f++ {
+			active[f] = limit == 0 || fsize[f] < limit
+		}
+
+		// Minimum outgoing edge per active fragment: per-worker scans over
+		// contiguous ranges of the live list, merged at the barrier. The
+		// minimum is unique under the strict global order, so the merged
+		// result does not depend on the partition into ranges. Worker
+		// count scales with the live list (≥4096 edges per worker) so
+		// fork-join overhead and per-worker buffer resets never dominate
+		// a shrinking phase.
+		scanWorkers := 1 + len(live)/4096
+		if scanWorkers > workers {
+			scanWorkers = workers
+		}
+		for w := 0; w < scanWorkers; w++ {
+			if bests[w] == nil {
+				bests[w] = make([]int32, n)
+			}
+			best := bests[w]
+			for f := 0; f < nf; f++ {
+				best[f] = -1
 			}
 		}
-		raws = append(raws, rawPhase{fragOf, members, active, selEdge, selChooser})
+		par.Ranges(scanWorkers, len(live), func(w, lo, hi int) {
+			best := bests[w]
+			for idx := lo; idx < hi; idx++ {
+				le := live[idx]
+				if active[le.u] && (best[le.u] == -1 || edgeLess(le.e, best[le.u])) {
+					best[le.u] = le.e
+				}
+				if active[le.v] && (best[le.v] == -1 || edgeLess(le.e, best[le.v])) {
+					best[le.v] = le.e
+				}
+			}
+		})
+		if scanWorkers > 1 {
+			par.Ranges(scanWorkers, nf, func(_, lo, hi int) {
+				for f := lo; f < hi; f++ {
+					b := bests[0][f]
+					for w := 1; w < scanWorkers; w++ {
+						if c := bests[w][f]; c != -1 && (b == -1 || edgeLess(c, b)) {
+							b = c
+						}
+					}
+					bests[0][f] = b
+				}
+			})
+		}
+
+		if record {
+			// Recording is always a prefix of the phases, so the node-level
+			// partition follows from the previous recorded one through the
+			// contraction map — no per-node DSU finds.
+			var prevFragOf []FragID
+			if i > 1 {
+				prevFragOf = raws[len(raws)-1].fragOf
+			}
+			raws = append(raws, recordPhase(g, prevFragOf, oldToNew, bests[0], active, nf, n, fill))
+		}
+
 		// Merge. Selected edges are acyclic under a strict total order, so
 		// every union either merges or repeats an edge selected from both
 		// sides.
-		for fi := 0; fi < numFrags; fi++ {
-			e := selEdge[fi]
+		for f := 0; f < nf; f++ {
+			e := bests[0][f]
 			if e == -1 {
 				continue
 			}
-			rec := g.Edge(e)
+			rec := g.Edge(graph.EdgeID(e))
 			if dsu.Union(int(rec.U), int(rec.V)) {
-				treeEdges = append(treeEdges, e)
+				treeEdges = append(treeEdges, graph.EdgeID(e))
 				selPhase[e] = i
 			} else if selPhase[e] == 0 {
 				// The union failed on an edge not previously selected: two
@@ -223,58 +381,93 @@ func Decompose(g *graph.Graph, root graph.NodeID) (*Decomposition, error) {
 	if len(treeEdges) != n-1 {
 		return nil, fmt.Errorf("boruvka: graph is disconnected (%d tree edges for %d nodes)", len(treeEdges), n)
 	}
-	sort.Slice(treeEdges, func(a, b int) bool { return treeEdges[a] < treeEdges[b] })
+	slices.Sort(treeEdges)
 
 	parentPort, err := mst.Root(g, treeEdges, root)
 	if err != nil {
 		return nil, err
 	}
-	parentEdge := make([]graph.EdgeID, n)
-	for u := 0; u < n; u++ {
-		if parentPort[u] == -1 {
-			parentEdge[u] = -1
-		} else {
-			parentEdge[u] = g.HalfAt(graph.NodeID(u), parentPort[u]).Edge
-		}
-	}
 
 	d := &Decomposition{
-		G:          g,
-		Root:       root,
-		TreeEdges:  treeEdges,
-		ParentPort: parentPort,
-		ParentEdge: parentEdge,
-		SelPhase:   selPhase,
+		G:           g,
+		Root:        root,
+		TotalPhases: phases,
+		TreeEdges:   treeEdges,
+		ParentPort:  parentPort,
+		SelPhase:    selPhase,
 	}
 
-	// ---- Pass 2: enrich every phase with roots, levels, orientations and
-	// BFS orders, all defined relative to the final rooted tree T.
-	inTree := make([]bool, g.M())
-	for _, e := range treeEdges {
-		inTree[e] = true
-	}
-	for i, raw := range raws {
-		ph := Phase{Index: i + 1, FragOf: raw.fragOf}
-		frags := make([]Fragment, len(raw.members))
-		for fi := range raw.members {
-			frags[fi] = Fragment{
-				ID:     FragID(fi),
-				Nodes:  raw.members[fi],
-				Active: raw.active[fi],
+	// Flattened rooted-tree views shared by every phase annotation.
+	d.ParentEdge = make([]graph.EdgeID, n)
+	d.parentNode = make([]int32, n)
+	d.parentW = make([]graph.Weight, n)
+	d.parentPt = make([]int32, n)
+	par.Ranges(workers, n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			if parentPort[u] == -1 {
+				d.ParentEdge[u] = -1
+				d.parentNode[u] = -1
+				continue
+			}
+			h := g.HalfAt(graph.NodeID(u), parentPort[u])
+			d.ParentEdge[u] = h.Edge
+			d.parentNode[u] = int32(h.To)
+			d.parentW[u] = h.W
+			d.parentPt[u] = int32(g.DstPort(graph.NodeID(u), parentPort[u]))
+		}
+	})
+	d.treeU = make([]int32, n-1)
+	d.treeV = make([]int32, n-1)
+	par.Ranges(workers, n-1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rec := g.Edge(treeEdges[i])
+			d.treeU[i], d.treeV[i] = int32(rec.U), int32(rec.V)
+		}
+	})
+	d.bfsStart = make([]int32, n)
+	d.bfsFill = make([]int32, n)
+	d.bfsCnt = make([]int32, n)
+
+	// ---- Pass 2: enrich every recorded phase with roots, levels,
+	// orientations and BFS orders, all defined relative to the final
+	// rooted tree T. Each phase's fragment BFS orders (and child
+	// segments) live in flat per-phase arenas sliced by the member
+	// offsets, and fragments are annotated in parallel — they touch
+	// disjoint node sets.
+	for pi := range raws {
+		raw := &raws[pi]
+		nf := len(raw.memOff) - 1
+		ph := Phase{Index: pi + 1, FragOf: raw.fragOf}
+		frags := make([]Fragment, nf)
+		for f := 0; f < nf; f++ {
+			frags[f] = Fragment{
+				ID:     FragID(f),
+				Nodes:  raw.memFlat[raw.memOff[f]:raw.memOff[f+1]:raw.memOff[f+1]],
+				Active: raw.active[f],
 			}
 		}
-		d.annotate(frags, raw.fragOf)
-		for fi := range frags {
-			e := raw.selEdge[fi]
+		d.annotate(frags, raw.fragOf, raw.memOff, workers)
+		// Selections live in one per-phase slab instead of one allocation
+		// per selecting fragment (phase 1 alone has ~n of them).
+		nSel := 0
+		for f := 0; f < nf; f++ {
+			if raw.selEdge[f] != -1 {
+				nSel++
+			}
+		}
+		selSlab := make([]Selection, 0, nSel)
+		for f := 0; f < nf; f++ {
+			e := raw.selEdge[f]
 			if e == -1 {
 				continue
 			}
-			chooser := raw.selChooser[fi]
-			frags[fi].Sel = &Selection{
+			chooser := raw.selChooser[f]
+			selSlab = append(selSlab, Selection{
 				Chooser: chooser,
 				Edge:    e,
-				Up:      parentEdge[chooser] == e,
-			}
+				Up:      d.ParentEdge[chooser] == e,
+			})
+			frags[f].Sel = &selSlab[len(selSlab)-1]
 		}
 		ph.Fragments = frags
 		d.Phases = append(d.Phases, ph)
@@ -286,54 +479,130 @@ func Decompose(g *graph.Graph, root graph.NodeID) (*Decomposition, error) {
 		finalNodes[u] = graph.NodeID(u)
 	}
 	finalFragOf := make([]FragID, n)
+	finalOff := []int32{0, int32(n)}
 	final := []Fragment{{ID: 0, Nodes: finalNodes, Active: false}}
-	d.annotate(final, finalFragOf)
+	d.annotate(final, finalFragOf, finalOff, workers)
 	d.Final = final[0]
 
 	return d, nil
 }
 
-// annotate fills Root, Level and BFS for every fragment of one phase.
-func (d *Decomposition) annotate(frags []Fragment, fragOf []FragID) {
-	g := d.G
-	// Roots: the unique node whose T-parent edge leaves the fragment (or
-	// the global root).
-	for fi := range frags {
-		frags[fi].Root = -1
-	}
-	for _, u := range allNodes(frags) {
-		pe := d.ParentEdge[u]
-		if pe == -1 || fragOf[g.Other(pe, u)] != fragOf[u] {
-			f := &frags[fragOf[u]]
-			if f.Root != -1 {
-				panic("boruvka: two roots in one fragment (internal error)")
-			}
-			f.Root = u
+// recordPhase snapshots the node-level partition (fragment assignment
+// via the previous recorded phase and the contraction map, members by
+// counting sort) and the selections of the current phase. Kernel
+// fragment IDs are dense in order of smallest member node, which is
+// exactly the order a first-appearance scan over ascending nodes would
+// assign, so recorded IDs match the original sequential construction.
+func recordPhase(g *graph.Graph, prevFragOf []FragID, oldToNew, best []int32, active []bool, nf, n int, fill []int32) rawPhase {
+	fragOf := make([]FragID, n)
+	if prevFragOf == nil {
+		for u := 0; u < n; u++ {
+			fragOf[u] = FragID(u) // phase 1: singletons
+		}
+	} else {
+		for u := 0; u < n; u++ {
+			fragOf[u] = FragID(oldToNew[prevFragOf[u]])
 		}
 	}
-	// Levels: BFS over the tree of fragments T_i from the fragment holding
-	// the global root.
+	memOff := make([]int32, nf+1)
+	memFlat := make([]graph.NodeID, n)
+	for u := 0; u < n; u++ {
+		memOff[fragOf[u]+1]++
+	}
+	for f := 0; f < nf; f++ {
+		memOff[f+1] += memOff[f]
+	}
+	copy(fill[:nf], memOff[:nf])
+	for u := 0; u < n; u++ {
+		f := fragOf[u]
+		memFlat[fill[f]] = graph.NodeID(u)
+		fill[f]++
+	}
+	activeCopy := make([]bool, nf)
+	copy(activeCopy, active[:nf])
+	selEdge := make([]graph.EdgeID, nf)
+	selChooser := make([]graph.NodeID, nf)
+	for f := 0; f < nf; f++ {
+		e := best[f]
+		if e == -1 {
+			selEdge[f], selChooser[f] = -1, -1
+			continue
+		}
+		rec := g.Edge(graph.EdgeID(e))
+		selEdge[f] = graph.EdgeID(e)
+		if fragOf[rec.U] == FragID(f) {
+			selChooser[f] = rec.U
+		} else {
+			selChooser[f] = rec.V
+		}
+	}
+	return rawPhase{fragOf, memOff, memFlat, activeCopy, selEdge, selChooser}
+}
+
+// annotate fills Root, Level and BFS for every fragment of one phase.
+// memOff are the member offsets (fragment f spans memOff[f]:memOff[f+1]
+// in both the member and BFS layouts).
+func (d *Decomposition) annotate(frags []Fragment, fragOf []FragID, memOff []int32, workers int) {
+	// Roots: the unique node whose T-parent edge leaves the fragment (or
+	// the global root). Fragments are independent, so scan them in
+	// parallel.
 	numFrags := len(frags)
-	fadj := make([][]FragID, numFrags)
-	for _, e := range d.TreeEdges {
-		rec := g.Edge(e)
-		fu, fv := fragOf[rec.U], fragOf[rec.V]
+	fragWorkers := workers
+	if numFrags < 64 {
+		fragWorkers = 1
+	}
+	par.Ranges(fragWorkers, numFrags, func(_, lo, hi int) {
+		for fi := lo; fi < hi; fi++ {
+			f := &frags[fi]
+			f.Root = -1
+			for _, u := range f.Nodes {
+				p := d.parentNode[u]
+				if p == -1 || fragOf[p] != FragID(fi) {
+					if f.Root != -1 {
+						panic("boruvka: two roots in one fragment (internal error)")
+					}
+					f.Root = u
+				}
+			}
+		}
+	})
+	// Levels: BFS over the tree of fragments T_i from the fragment holding
+	// the global root. The adjacency is a counting-sort CSR over the
+	// cross-fragment tree edges.
+	fdeg := make([]int32, numFrags+1)
+	for i := range d.treeU {
+		fu, fv := fragOf[d.treeU[i]], fragOf[d.treeV[i]]
 		if fu != fv {
-			fadj[fu] = append(fadj[fu], fv)
-			fadj[fv] = append(fadj[fv], fu)
+			fdeg[fu+1]++
+			fdeg[fv+1]++
+		}
+	}
+	for f := 0; f < numFrags; f++ {
+		fdeg[f+1] += fdeg[f]
+	}
+	fadj := make([]FragID, fdeg[numFrags])
+	fcur := make([]int32, numFrags)
+	copy(fcur, fdeg[:numFrags])
+	for i := range d.treeU {
+		fu, fv := fragOf[d.treeU[i]], fragOf[d.treeV[i]]
+		if fu != fv {
+			fadj[fcur[fu]] = fv
+			fcur[fu]++
+			fadj[fcur[fv]] = fu
+			fcur[fv]++
 		}
 	}
 	rootFrag := fragOf[d.Root]
-	depth := make([]int, numFrags)
+	depth := make([]int32, numFrags)
 	for i := range depth {
 		depth[i] = -1
 	}
 	depth[rootFrag] = 0
-	queue := []FragID{rootFrag}
-	for len(queue) > 0 {
-		f := queue[0]
-		queue = queue[1:]
-		for _, nb := range fadj[f] {
+	queue := make([]FragID, 0, numFrags)
+	queue = append(queue, rootFrag)
+	for qi := 0; qi < len(queue); qi++ {
+		f := queue[qi]
+		for _, nb := range fadj[fdeg[f]:fcur[f]] {
 			if depth[nb] == -1 {
 				depth[nb] = depth[f] + 1
 				queue = append(queue, nb)
@@ -344,51 +613,45 @@ func (d *Decomposition) annotate(frags []Fragment, fragOf []FragID) {
 		if depth[fi] == -1 {
 			panic("boruvka: tree of fragments is disconnected (internal error)")
 		}
-		frags[fi].Level = depth[fi] % 2
+		frags[fi].Level = int(depth[fi] % 2)
 	}
 	// BFS orders of the fragment trees T_F, children by (weight, port at
-	// parent).
-	for fi := range frags {
-		frags[fi].BFS = d.fragmentBFS(&frags[fi], fragOf)
-	}
+	// parent). Both the orders and the child segments live in flat
+	// per-phase arenas sliced by the member offsets; the node-indexed
+	// count scratch is shared safely because fragments own disjoint
+	// nodes.
+	total := int(memOff[numFrags])
+	bfsArena := make([]graph.NodeID, total)
+	kidsArena := make([]graph.NodeID, total)
+	par.Ranges(fragWorkers, numFrags, func(_, lo, hi int) {
+		for fi := lo; fi < hi; fi++ {
+			o := memOff[fi]
+			frags[fi].BFS = d.fragmentBFS(&frags[fi], fragOf,
+				bfsArena[o:o:memOff[fi+1]], kidsArena[o:memOff[fi+1]])
+		}
+	})
 }
 
 // fragmentBFS returns the BFS order of T_F from the fragment root, where a
 // node's tree children are visited in increasing (edge weight, port at the
 // node) order. This is the paper's "BFS guided by the indexes of the edges
-// in T_F ... lower index first".
-func (d *Decomposition) fragmentBFS(f *Fragment, fragOf []FragID) []graph.NodeID {
-	g := d.G
-	if d.bfsCnt == nil {
-		n := g.N()
-		d.bfsStart = make([]int32, n)
-		d.bfsFill = make([]int32, n)
-		d.bfsCnt = make([]int32, n)
-	}
+// in T_F ... lower index first". The order is written into out (len 0,
+// cap |F|) and returned; kids (len |F|) backs the per-parent child
+// segments.
+func (d *Decomposition) fragmentBFS(f *Fragment, fragOf []FragID, out, kids []graph.NodeID) []graph.NodeID {
 	start, fill, cnt := d.bfsStart, d.bfsFill, d.bfsCnt
-	// inFragParent returns u's tree parent if it lies in this fragment.
-	inFragParent := func(u graph.NodeID) (graph.NodeID, graph.EdgeID, bool) {
-		pe := d.ParentEdge[u]
-		if pe == -1 {
-			return 0, 0, false
-		}
-		p := g.Other(pe, u)
-		return p, pe, fragOf[p] == fragOf[u]
-	}
-	total := int32(0)
+	// A node's T-parent lies in this fragment iff it exists and shares
+	// the fragment (fragments are subtrees of T, so this holds for every
+	// non-root member).
 	for _, u := range f.Nodes {
 		cnt[u] = 0
 	}
+	fid := fragOf[f.Nodes[0]]
 	for _, u := range f.Nodes {
-		if p, _, ok := inFragParent(u); ok {
+		if p := d.parentNode[u]; p != -1 && fragOf[p] == fid {
 			cnt[p]++
-			total++
 		}
 	}
-	if cap(d.bfsKids) < int(total) {
-		d.bfsKids = make([]graph.NodeID, total)
-	}
-	kids := d.bfsKids[:total]
 	off := int32(0)
 	for _, u := range f.Nodes {
 		start[u], fill[u] = off, off
@@ -399,28 +662,27 @@ func (d *Decomposition) fragmentBFS(f *Fragment, fragOf []FragID) []graph.NodeID
 	// siblings hang off distinct parent ports. Segments are tiny, so the
 	// quadratic insertion beats sort's allocations.
 	for _, u := range f.Nodes {
-		p, pe, ok := inFragParent(u)
-		if !ok {
+		p := d.parentNode[u]
+		if p == -1 || fragOf[p] != fid {
 			continue
 		}
-		w, pt := g.Weight(pe), g.PortAt(pe, p)
+		w, pt := d.parentW[u], d.parentPt[u]
 		i := fill[p]
 		fill[p]++
 		for i > start[p] {
-			prevEdge := d.ParentEdge[kids[i-1]]
-			pw, ppt := g.Weight(prevEdge), g.PortAt(prevEdge, p)
+			prev := kids[i-1]
+			pw, ppt := d.parentW[prev], d.parentPt[prev]
 			if pw < w || (pw == w && ppt < pt) {
 				break
 			}
-			kids[i] = kids[i-1]
+			kids[i] = prev
 			i--
 		}
 		kids[i] = u
 	}
 	// The order slice doubles as the BFS queue: entry qi is expanded after
 	// it has been appended.
-	order := make([]graph.NodeID, 0, len(f.Nodes))
-	order = append(order, f.Root)
+	order := append(out, f.Root)
 	for qi := 0; qi < len(order); qi++ {
 		u := order[qi]
 		order = append(order, kids[start[u]:start[u]+cnt[u]]...)
@@ -429,12 +691,4 @@ func (d *Decomposition) fragmentBFS(f *Fragment, fragOf []FragID) []graph.NodeID
 		panic(fmt.Sprintf("boruvka: fragment BFS visited %d of %d nodes (internal error)", len(order), len(f.Nodes)))
 	}
 	return order
-}
-
-func allNodes(frags []Fragment) []graph.NodeID {
-	var all []graph.NodeID
-	for i := range frags {
-		all = append(all, frags[i].Nodes...)
-	}
-	return all
 }

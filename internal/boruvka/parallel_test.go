@@ -1,0 +1,119 @@
+package boruvka
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mstadvice/internal/graph"
+	"mstadvice/internal/graph/gen"
+)
+
+// observable projects the deterministic, exported state of a
+// decomposition (the scratch buffers legitimately differ with worker
+// scheduling; everything observable must not).
+type observable struct {
+	Root        graph.NodeID
+	Phases      []Phase
+	TotalPhases int
+	Final       Fragment
+	TreeEdges   []graph.EdgeID
+	ParentPort  []int
+	ParentEdge  []graph.EdgeID
+	SelPhase    []int
+}
+
+func project(d *Decomposition) observable {
+	return observable{d.Root, d.Phases, d.TotalPhases, d.Final,
+		d.TreeEdges, d.ParentPort, d.ParentEdge, d.SelPhase}
+}
+
+// TestDecomposeParallelDeterminism asserts the phase kernel's central
+// contract: for every registered graph family and every worker count,
+// DecomposeOpt produces a byte-identical Decomposition. Worker counts
+// above GOMAXPROCS are included deliberately — the contract is about the
+// partition into ranges, not the physical core count.
+func TestDecomposeParallelDeterminism(t *testing.T) {
+	for gi, fam := range gen.Families() {
+		rng := rand.New(rand.NewSource(int64(100 + gi)))
+		g, err := fam.Generate(60, rng, gen.Options{Weights: gen.WeightsRandom})
+		if err != nil {
+			t.Fatalf("family %s: %v", fam.Name, err)
+		}
+		ref, err := DecomposeOpt(g, 0, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("family %s workers=1: %v", fam.Name, err)
+		}
+		want := project(ref)
+		for workers := 2; workers <= 4; workers++ {
+			d, err := DecomposeOpt(g, 0, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("family %s workers=%d: %v", fam.Name, workers, err)
+			}
+			if !reflect.DeepEqual(project(d), want) {
+				t.Fatalf("family %s: decomposition differs at workers=%d", fam.Name, workers)
+			}
+		}
+	}
+}
+
+// TestDecomposeKeepPhases asserts that KeepPhases records exactly a
+// prefix of the full phase list and leaves every whole-run output
+// untouched.
+func TestDecomposeKeepPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.RandomConnected(120, 360, rng, gen.Options{})
+	full, err := Decompose(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for keep := 1; keep <= full.TotalPhases+1; keep++ {
+		d, err := DecomposeOpt(g, 3, Options{KeepPhases: keep})
+		if err != nil {
+			t.Fatalf("keep=%d: %v", keep, err)
+		}
+		wantLen := keep
+		if wantLen > full.TotalPhases {
+			wantLen = full.TotalPhases
+		}
+		if d.NumPhases() != wantLen {
+			t.Fatalf("keep=%d: recorded %d phases, want %d", keep, d.NumPhases(), wantLen)
+		}
+		if d.TotalPhases != full.TotalPhases {
+			t.Fatalf("keep=%d: TotalPhases %d, want %d", keep, d.TotalPhases, full.TotalPhases)
+		}
+		if !reflect.DeepEqual(d.Phases, full.Phases[:wantLen]) {
+			t.Fatalf("keep=%d: recorded phases differ from the full prefix", keep)
+		}
+		if !reflect.DeepEqual(d.TreeEdges, full.TreeEdges) ||
+			!reflect.DeepEqual(d.ParentPort, full.ParentPort) ||
+			!reflect.DeepEqual(d.Final, full.Final) ||
+			!reflect.DeepEqual(d.SelPhase, full.SelPhase) {
+			t.Fatalf("keep=%d: whole-run outputs differ", keep)
+		}
+	}
+}
+
+// TestFragmentsAtStartTruncated pins the truncation semantics: the final
+// fragment is reachable through FragmentsAtStart only when the record is
+// complete.
+func TestFragmentsAtStartTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := gen.RandomConnected(64, 128, rng, gen.Options{})
+	d, err := DecomposeOpt(g, 0, Options{KeepPhases: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TotalPhases <= 2 {
+		t.Skipf("graph merged in %d phases; need > 2 for the truncation case", d.TotalPhases)
+	}
+	if got := d.FragmentsAtStart(1); len(got) != g.N() {
+		t.Fatalf("phase 1 has %d fragments, want %d singletons", len(got), g.N())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FragmentsAtStart past a truncated record should panic")
+		}
+	}()
+	d.FragmentsAtStart(2)
+}

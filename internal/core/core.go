@@ -64,6 +64,17 @@ func (s Scheme) Advise(g *graph.Graph, root graph.NodeID) ([]*bitstring.BitStrin
 	return BuildAdvice(g, root, s.cap())
 }
 
+// AdviseWorkers implements advice.WorkerAdviser: the oracle runs its
+// decomposition and encoding on the given worker pool, with output
+// byte-identical to Advise.
+func (s Scheme) AdviseWorkers(g *graph.Graph, root graph.NodeID, workers int) ([]*bitstring.BitString, error) {
+	d, err := BuildAdviceDetailOpt(g, root, s.cap(), OracleOptions{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return d.Advice, nil
+}
+
 // NewNode implements advice.Scheme.
 func (s Scheme) NewNode(view *sim.NodeView) sim.Node {
 	if s.Adaptive {

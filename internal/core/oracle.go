@@ -6,6 +6,7 @@ import (
 	"mstadvice/internal/bitstring"
 	"mstadvice/internal/boruvka"
 	"mstadvice/internal/graph"
+	"mstadvice/internal/par"
 )
 
 // Oracle state for building the Theorem 3 advice. The advice of node u is
@@ -26,14 +27,23 @@ import (
 // stage, fragment F's string is the Width-bit rank of the root's parent
 // edge in its global order (all-ones marks the global root), one bit per
 // BFS node.
+//
+// The encoder is built for n = 10⁶-scale graphs: all per-node advice
+// strings live in two pre-sized bitstring arenas (no per-node growth),
+// the decomposition records only the ⌈log log n⌉ + 1 phases the packing
+// reads, and both the per-phase packing and the final-stage encoding run
+// in parallel over fragment ranges — every fragment writes a disjoint
+// node set, so the advice is byte-identical for any worker count.
 type adviceBuilder struct {
-	g     *graph.Graph
-	d     *boruvka.Decomposition
-	sched Schedule
-	used  []int
-	packs []*bitstring.BitString
-	final []bool
-	frags []FinalFragment
+	g       *graph.Graph
+	d       *boruvka.Decomposition
+	sched   Schedule
+	workers int
+	used    []int
+	packA   *bitstring.Arena // backing for packs
+	packs   []*bitstring.BitString
+	final   []bool
+	frags   []FinalFragment
 }
 
 // FinalFragment is the structural record of one fragment remaining after
@@ -75,6 +85,14 @@ type AdviceDetail struct {
 	Width int
 }
 
+// OracleOptions tune the oracle run without changing its output.
+type OracleOptions struct {
+	// Workers is the pool size for the decomposition and the advice
+	// encoding; 0 means GOMAXPROCS. The advice is byte-identical for any
+	// value.
+	Workers int
+}
+
 // BuildAdvice computes the Theorem 3 advice for g rooted at root. cap is
 // the per-node packed budget (the paper's c = 11); smaller values are
 // allowed for the ablation experiment and fail with a descriptive error
@@ -90,19 +108,32 @@ func BuildAdvice(g *graph.Graph, root graph.NodeID, cap int) ([]*bitstring.BitSt
 // BuildAdviceDetail is BuildAdvice plus the layout detail used by
 // incremental recomputation.
 func BuildAdviceDetail(g *graph.Graph, root graph.NodeID, cap int) (*AdviceDetail, error) {
+	return BuildAdviceDetailOpt(g, root, cap, OracleOptions{})
+}
+
+// BuildAdviceDetailOpt is BuildAdviceDetail with an explicit worker
+// count; the result is byte-identical for any OracleOptions.Workers.
+func BuildAdviceDetailOpt(g *graph.Graph, root graph.NodeID, cap int, opt OracleOptions) (*AdviceDetail, error) {
 	n := g.N()
 	b := &adviceBuilder{
-		g:     g,
-		sched: NewSchedule(n, cap),
-		used:  make([]int, n),
-		packs: make([]*bitstring.BitString, n),
-		final: make([]bool, n),
+		g:       g,
+		sched:   NewSchedule(n, cap),
+		workers: par.Workers(opt.Workers),
+		used:    make([]int, n),
+		packA:   bitstring.NewArena(n, cap),
+		packs:   make([]*bitstring.BitString, n),
+		final:   make([]bool, n),
 	}
 	for u := range b.packs {
-		b.packs[u] = bitstring.New(cap)
+		b.packs[u] = b.packA.At(u)
 	}
 	if n > 1 {
-		d, err := boruvka.Decompose(g, root)
+		// The packing reads only phases 1..P and the partition at the
+		// start of phase P+1, so later phases need not be recorded.
+		d, err := boruvka.DecomposeOpt(g, root, boruvka.Options{
+			Workers:    b.workers,
+			KeepPhases: b.sched.P + 1,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -116,15 +147,22 @@ func BuildAdviceDetail(g *graph.Graph, root graph.NodeID, cap int) (*AdviceDetai
 			return nil, err
 		}
 	}
+	outA := bitstring.NewArena(n, cap+1)
 	out := make([]*bitstring.BitString, n)
-	for u := range out {
-		s := bitstring.New(1 + b.packs[u].Len())
-		s.AppendBit(b.final[u])
-		s.Append(b.packs[u])
-		if s.Len() > cap+1 {
-			return nil, fmt.Errorf("core: node %d advice %d bits exceeds m=%d (internal error)", u, s.Len(), cap+1)
+	err := par.FirstFailure(b.workers, n, func(_, lo, hi int) (int, error) {
+		for u := lo; u < hi; u++ {
+			s := outA.At(u)
+			s.AppendBit(b.final[u])
+			s.AppendRange(b.packs[u], 0, b.packs[u].Len())
+			if s.Len() > cap+1 {
+				return u, fmt.Errorf("core: node %d advice %d bits exceeds m=%d (internal error)", u, s.Len(), cap+1)
+			}
+			out[u] = s
 		}
-		out[u] = s
+		return -1, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &AdviceDetail{
 		Advice: out,
@@ -135,98 +173,127 @@ func BuildAdviceDetail(g *graph.Graph, root graph.NodeID, cap int) (*AdviceDetai
 	}, nil
 }
 
-// packPhase streams A(F) for every selecting fragment of phase i.
+// packPhase streams A(F) for every selecting fragment of phase i, in
+// parallel over fragment ranges (each fragment writes only its own BFS
+// nodes). Per-worker scratch strings keep the loop allocation-free;
+// par.FirstFailure merges worker errors so the reported failure is the
+// one a sequential scan would hit first.
 func (b *adviceBuilder) packPhase(i int) error {
 	ph := &b.d.Phases[i-1]
-	for fi := range ph.Fragments {
-		f := &ph.Fragments[fi]
-		if f.Sel == nil {
-			continue
-		}
-		j := -1
-		for k, u := range f.BFS {
-			if u == f.Sel.Chooser {
-				j = k
-				break
-			}
-		}
-		if j < 0 {
-			return fmt.Errorf("core: chooser not in fragment BFS (internal error)")
-		}
-		if j >= 1<<uint(i) {
-			return fmt.Errorf("core: BFS index %d of chooser needs more than %d bits (internal error)", j, i)
-		}
+	nf := len(ph.Fragments)
+	workers := b.workers
+	if nf < 64 {
+		workers = 1
+	}
+	return par.FirstFailure(workers, nf, func(_, lo, hi int) (int, error) {
 		a := bitstring.New(i + 2)
-		a.AppendBit(f.Sel.Up)
-		a.AppendBit(f.Level == 1)
-		a.AppendUint(uint64(j), i)
-
-		// Greedy assignment in BFS order (the paper's loop): fill the
-		// earliest node with spare capacity.
-		pos := 0
-		for _, u := range f.BFS {
-			free := b.sched.Cap - b.used[u]
-			if free <= 0 {
+		for fi := lo; fi < hi; fi++ {
+			f := &ph.Fragments[fi]
+			if f.Sel == nil {
 				continue
 			}
-			take := a.Len() - pos
-			if take > free {
-				take = free
-			}
-			b.packs[u].Append(a.Slice(pos, pos+take))
-			b.used[u] += take
-			pos += take
-			if pos == a.Len() {
-				break
+			if err := b.packFragment(i, f, a); err != nil {
+				return fi, err
 			}
 		}
-		if pos != a.Len() {
-			return fmt.Errorf("core: phase %d fragment of size %d cannot hold %d advice bits under cap %d (Claim 1 violated)",
-				i, f.Size(), a.Len(), b.sched.Cap)
+		return -1, nil
+	})
+}
+
+// packFragment encodes A(F) into a (a reusable scratch string) and
+// streams it greedily into the fragment's nodes in BFS order.
+func (b *adviceBuilder) packFragment(i int, f *boruvka.Fragment, a *bitstring.BitString) error {
+	j := -1
+	for k, u := range f.BFS {
+		if u == f.Sel.Chooser {
+			j = k
+			break
 		}
+	}
+	if j < 0 {
+		return fmt.Errorf("core: chooser not in fragment BFS (internal error)")
+	}
+	if j >= 1<<uint(i) {
+		return fmt.Errorf("core: BFS index %d of chooser needs more than %d bits (internal error)", j, i)
+	}
+	a.Reset()
+	a.AppendBit(f.Sel.Up)
+	a.AppendBit(f.Level == 1)
+	a.AppendUint(uint64(j), i)
+
+	// Greedy assignment in BFS order (the paper's loop): fill the
+	// earliest node with spare capacity.
+	pos := 0
+	for _, u := range f.BFS {
+		free := b.sched.Cap - b.used[u]
+		if free <= 0 {
+			continue
+		}
+		take := a.Len() - pos
+		if take > free {
+			take = free
+		}
+		b.packs[u].AppendRange(a, pos, pos+take)
+		b.used[u] += take
+		pos += take
+		if pos == a.Len() {
+			break
+		}
+	}
+	if pos != a.Len() {
+		return fmt.Errorf("core: phase %d fragment of size %d cannot hold %d advice bits under cap %d (Claim 1 violated)",
+			i, f.Size(), a.Len(), b.sched.Cap)
 	}
 	return nil
 }
 
 // assignFinal distributes the Width-bit final string of every fragment
-// remaining after phase P, one bit per BFS node.
+// remaining after phase P, one bit per BFS node, in parallel over
+// fragment ranges (fragments own disjoint carrier nodes). The carrier
+// lists live in one slab sized len(frags)·Width.
 func (b *adviceBuilder) assignFinal() error {
 	lastPacked := b.sched.P
 	if b.d.NumPhases() < lastPacked {
 		lastPacked = b.d.NumPhases()
 	}
 	frags := b.d.FragmentsAtStart(lastPacked + 1)
-	b.frags = make([]FinalFragment, 0, len(frags))
-	for fi := range frags {
-		f := &frags[fi]
-		var value uint64
-		port := -1
-		if f.Root == b.d.Root {
-			value = 1<<uint(b.sched.Width) - 1 // all-ones: "I am the root"
-		} else {
-			port = b.d.ParentPort[f.Root]
-			rank := b.g.GlobalRankAt(f.Root, port)
-			value = uint64(rank)
-			if value >= 1<<uint(b.sched.Width)-1 {
-				return fmt.Errorf("core: parent rank %d collides with the root marker (internal error)", rank)
+	width := b.sched.Width
+	b.frags = make([]FinalFragment, len(frags))
+	carrierSlab := make([]graph.NodeID, len(frags)*width)
+	workers := b.workers
+	if len(frags) < 64 {
+		workers = 1
+	}
+	return par.FirstFailure(workers, len(frags), func(_, lo, hi int) (int, error) {
+		for fi := lo; fi < hi; fi++ {
+			f := &frags[fi]
+			var value uint64
+			port := -1
+			if f.Root == b.d.Root {
+				value = 1<<uint(width) - 1 // all-ones: "I am the root"
+			} else {
+				port = b.d.ParentPort[f.Root]
+				rank := b.g.GlobalRankAt(f.Root, port)
+				value = uint64(rank)
+				if value >= 1<<uint(width)-1 {
+					return fi, fmt.Errorf("core: parent rank %d collides with the root marker (internal error)", rank)
+				}
+			}
+			if f.Size() < width {
+				return fi, fmt.Errorf("core: final fragment of size %d cannot hold %d bits (internal error)", f.Size(), width)
+			}
+			carriers := carrierSlab[fi*width : (fi+1)*width : (fi+1)*width]
+			for k := 0; k < width; k++ {
+				b.final[f.BFS[k]] = value>>uint(k)&1 == 1
+				carriers[k] = f.BFS[k]
+			}
+			b.frags[fi] = FinalFragment{
+				Root:       f.Root,
+				ParentPort: port,
+				Carriers:   carriers,
+				Value:      value,
 			}
 		}
-		if f.Size() < b.sched.Width {
-			return fmt.Errorf("core: final fragment of size %d cannot hold %d bits (internal error)", f.Size(), b.sched.Width)
-		}
-		a := bitstring.New(b.sched.Width)
-		a.AppendUint(value, b.sched.Width)
-		carriers := make([]graph.NodeID, b.sched.Width)
-		for k := 0; k < b.sched.Width; k++ {
-			b.final[f.BFS[k]] = a.Bit(k)
-			carriers[k] = f.BFS[k]
-		}
-		b.frags = append(b.frags, FinalFragment{
-			Root:       f.Root,
-			ParentPort: port,
-			Carriers:   carriers,
-			Value:      value,
-		})
-	}
-	return nil
+		return -1, nil
+	})
 }

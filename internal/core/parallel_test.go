@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mstadvice/internal/graph/gen"
+)
+
+// TestAdviceParallelDeterminism asserts the oracle's determinism
+// contract end to end: for every registered graph family and every
+// worker count (including counts above GOMAXPROCS), the advice is
+// byte-identical to the sequential oracle's.
+func TestAdviceParallelDeterminism(t *testing.T) {
+	for gi, fam := range gen.Families() {
+		rng := rand.New(rand.NewSource(int64(300 + gi)))
+		g, err := fam.Generate(70, rng, gen.Options{Weights: gen.WeightsRandom})
+		if err != nil {
+			t.Fatalf("family %s: %v", fam.Name, err)
+		}
+		ref, err := BuildAdviceDetailOpt(g, 0, DefaultCap, OracleOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("family %s workers=1: %v", fam.Name, err)
+		}
+		for workers := 2; workers <= 4; workers++ {
+			d, err := BuildAdviceDetailOpt(g, 0, DefaultCap, OracleOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("family %s workers=%d: %v", fam.Name, workers, err)
+			}
+			for u := range ref.Advice {
+				if !ref.Advice[u].Equal(d.Advice[u]) {
+					t.Fatalf("family %s workers=%d: advice of node %d is %s, want %s",
+						fam.Name, workers, u, d.Advice[u], ref.Advice[u])
+				}
+			}
+			if len(d.Frags) != len(ref.Frags) {
+				t.Fatalf("family %s workers=%d: %d final fragments, want %d",
+					fam.Name, workers, len(d.Frags), len(ref.Frags))
+			}
+			for i := range ref.Frags {
+				a, b := ref.Frags[i], d.Frags[i]
+				if a.Root != b.Root || a.ParentPort != b.ParentPort || a.Value != b.Value {
+					t.Fatalf("family %s workers=%d: final fragment %d differs", fam.Name, workers, i)
+				}
+			}
+		}
+	}
+}

@@ -23,7 +23,7 @@ package dynamic
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"mstadvice/internal/graph"
 	"mstadvice/internal/mst"
@@ -223,8 +223,16 @@ func (s *Sensitivity) computeReplacements() {
 			nonTree = append(nonTree, graph.EdgeID(e))
 		}
 	}
-	sort.Slice(nonTree, func(a, b int) bool {
-		return g.Key(nonTree[a]).Less(g.Key(nonTree[b]))
+	slices.SortFunc(nonTree, func(a, b graph.EdgeID) int {
+		ka, kb := g.Key(a), g.Key(b)
+		switch {
+		case ka.Less(kb):
+			return -1
+		case kb.Less(ka):
+			return 1
+		default:
+			return 0
+		}
 	})
 	jump := make([]int32, g.N())
 	for u := range jump {

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"fmt"
+	"os"
 	"runtime"
 	"time"
 
+	"mstadvice/internal/bitstring"
 	"mstadvice/internal/core"
 	"mstadvice/internal/dynamic"
 	"mstadvice/internal/graph"
@@ -11,54 +14,103 @@ import (
 	"mstadvice/internal/sim"
 )
 
-// SimBenchResult is one row of the engine micro-benchmark, in the
-// machine-readable form cmd/experiments writes to BENCH_sim.json so
-// successive revisions leave a comparable perf trajectory.
-type SimBenchResult struct {
+// BenchResult is one row of the perf benchmarks, in the machine-readable
+// form cmd/experiments writes to BENCH_sim.json / BENCH_oracle.json so
+// successive revisions leave a comparable perf trajectory in-tree.
+//
+// Kind distinguishes the row families:
+//
+//	"sim"     — end-to-end scheme run (oracle + round engine + verify)
+//	"oracle"  — oracle pipeline only (generate+build timed separately in
+//	            GenNS/GenAllocs; WallNS/Allocs cover decompose + encode)
+//	"dynamic" — single-edge-update advice latency (Scheme names the
+//	            path: advice-full vs advice-incremental)
+type BenchResult struct {
+	Kind           string  `json:"kind"`
 	Scheme         string  `json:"scheme"`
 	Family         string  `json:"family"`
 	N              int     `json:"n"`
 	M              int     `json:"m"`
 	Workers        int     `json:"workers"`
-	Rounds         int     `json:"rounds"`
-	Messages       int64   `json:"messages"`
-	MsgBits        int64   `json:"msg_bits"`
+	Rounds         int     `json:"rounds,omitempty"`
+	Messages       int64   `json:"messages,omitempty"`
+	MsgBits        int64   `json:"msg_bits,omitempty"`
 	WallNS         int64   `json:"wall_ns"`
-	NSPerRound     float64 `json:"ns_per_round"`
+	NSPerRound     float64 `json:"ns_per_round,omitempty"`
+	GenNS          int64   `json:"gen_ns,omitempty"`
+	GenAllocs      uint64  `json:"gen_allocs,omitempty"`
 	Allocs         uint64  `json:"allocs"`
-	AllocsPerRound float64 `json:"allocs_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round,omitempty"`
 	AllocBytes     uint64  `json:"alloc_bytes"`
-	Verified       bool    `json:"verified"`
+	// Speedup is wall(workers=1) / wall(this row) for parallel rows of
+	// the same (kind, n); 0 on sequential rows.
+	Speedup  float64 `json:"speedup,omitempty"`
+	Verified bool    `json:"verified"`
+}
+
+// BenchKey identifies a row for baseline comparison: rows match across
+// runs (and machines) iff their keys match.
+type BenchKey struct {
+	Kind, Scheme, Family string
+	N, Workers           int
+}
+
+// Key returns the row's comparison key.
+func (r BenchResult) Key() BenchKey {
+	return BenchKey{r.Kind, r.Scheme, r.Family, r.N, r.Workers}
+}
+
+// simBenchMaxN caps the end-to-end simulation benchmark: above this the
+// message-level engine dominates CI wall time, and the oracle benchmark
+// is the scale row.
+const simBenchMaxN = 100_000
+
+// benchWorkers is the worker sweep: sequential, a fixed 4-worker probe,
+// and the full pool when it differs. The fixed probe exists so the
+// committed baseline and a CI runner with a different core count still
+// share a parallel-path row — allocations are deterministic per worker
+// count and the Verified byte-identity flag is machine-independent, so
+// the regression gate covers the parallel code path everywhere (its
+// wall time is only meaningful on hosts with ≥4 CPUs; on smaller hosts
+// the goroutines just share cores and speedup ≈ 1).
+func benchWorkers() []int {
+	ws := []int{1, 4}
+	if full := runtime.GOMAXPROCS(0); full > 1 && full != 4 {
+		ws = append(ws, full)
+	}
+	return ws
 }
 
 // SimBench runs the main scheme end to end (oracle, simulation,
 // verification) on random connected graphs and measures wall time and
 // allocation counts, sequentially and with the full worker pool, then
-// appends the dynamic-update benchmark rows (scheme "advice-full" vs
-// "advice-incremental": single-edge weight-update latency of a full
-// oracle rerun against the incremental advisor, at the same sizes).
-// Sizes come from the config; nil means the default engine-benchmark
-// sweep.
-func SimBench(c Config) []SimBenchResult {
+// appends the dynamic-update benchmark rows. Sizes come from the config
+// (clamped to 10⁵ so the message-level simulation keeps CI wall time
+// bounded); nil means the default engine-benchmark sweep.
+func SimBench(c Config) []BenchResult {
 	sizes := c.Sizes
 	if sizes == nil {
 		sizes = []int{1024, 10240}
 	}
-	workersList := []int{1}
-	if full := runtime.GOMAXPROCS(0); full > 1 {
-		workersList = append(workersList, full)
-	}
-	var out []SimBenchResult
+	var out []BenchResult
 	for _, n := range sizes {
+		if n > simBenchMaxN {
+			// Sim rows stay small (the oracle bench covers 10⁶) — but say
+			// so, or an explicit -sizes sweep would shrink silently.
+			fmt.Fprintf(os.Stderr, "experiments: skipping sim benchmark at n=%d (message-level simulation is capped at n=%d)\n", n, simBenchMaxN)
+			continue
+		}
 		g := gen.RandomConnected(n, 3*n, c.rng(int64(n)), gen.Options{})
-		for _, workers := range workersList {
+		var seqWall int64
+		for _, workers := range benchWorkers() {
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
 			start := time.Now()
 			res := mustRun(core.Scheme{}, g, 0, sim.Options{Workers: workers})
 			wall := time.Since(start)
 			runtime.ReadMemStats(&after)
-			out = append(out, SimBenchResult{
+			row := BenchResult{
+				Kind:           "sim",
 				Scheme:         res.Scheme,
 				Family:         "random",
 				N:              g.N(),
@@ -73,11 +125,87 @@ func SimBench(c Config) []SimBenchResult {
 				AllocsPerRound: float64(after.Mallocs-before.Mallocs) / float64(maxInt(res.Rounds, 1)),
 				AllocBytes:     after.TotalAlloc - before.TotalAlloc,
 				Verified:       res.Verified,
-			})
+			}
+			if workers == 1 {
+				seqWall = row.WallNS
+			} else if row.WallNS > 0 {
+				row.Speedup = float64(seqWall) / float64(row.WallNS)
+			}
+			out = append(out, row)
 		}
 	}
 	for _, n := range sizes {
+		if n > simBenchMaxN {
+			continue // already reported above
+		}
 		out = append(out, dynamicBench(c, n)...)
+	}
+	return out
+}
+
+// OracleBench measures the oracle pipeline alone — generate + build CSR
+// (GenNS/GenAllocs), then Borůvka decomposition + advice encoding
+// (WallNS/Allocs) — at n up to 10⁶, sequentially and with the full
+// worker pool. The Verified column certifies that every parallel run
+// produced advice byte-identical to the sequential run. Sizes come from
+// the config; nil means the default {10⁴, 10⁵, 10⁶} sweep.
+func OracleBench(c Config) []BenchResult {
+	sizes := c.Sizes
+	if sizes == nil {
+		sizes = []int{10_000, 100_000, 1_000_000}
+	}
+	var out []BenchResult
+	for _, n := range sizes {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		g := gen.RandomConnected(n, 3*n, c.rng(int64(n)), gen.Options{})
+		genWall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		genAllocs := after.Mallocs - before.Mallocs
+		var ref []*bitstring.BitString
+		var seqWall int64
+		for _, workers := range benchWorkers() {
+			runtime.ReadMemStats(&before)
+			start = time.Now()
+			d, err := core.BuildAdviceDetailOpt(g, 0, core.DefaultCap, core.OracleOptions{Workers: workers})
+			if err != nil {
+				panic(err)
+			}
+			wall := time.Since(start)
+			runtime.ReadMemStats(&after)
+			verified := true
+			if ref == nil {
+				ref = d.Advice
+			} else {
+				for u := range ref {
+					if !ref[u].Equal(d.Advice[u]) {
+						verified = false
+						break
+					}
+				}
+			}
+			row := BenchResult{
+				Kind:       "oracle",
+				Scheme:     "core",
+				Family:     "random",
+				N:          g.N(),
+				M:          g.M(),
+				Workers:    workers,
+				WallNS:     wall.Nanoseconds(),
+				GenNS:      genWall.Nanoseconds(),
+				GenAllocs:  genAllocs,
+				Allocs:     after.Mallocs - before.Mallocs,
+				AllocBytes: after.TotalAlloc - before.TotalAlloc,
+				Verified:   verified,
+			}
+			if workers == 1 {
+				seqWall = row.WallNS
+			} else if row.WallNS > 0 {
+				row.Speedup = float64(seqWall) / float64(row.WallNS)
+			}
+			out = append(out, row)
+		}
 	}
 	return out
 }
@@ -86,7 +214,7 @@ func SimBench(c Config) []SimBenchResult {
 // a full oracle rerun versus the incremental advisor fast path, with the
 // Verified column certifying the incremental advice stayed byte-identical
 // to the oracle's.
-func dynamicBench(c Config, n int) []SimBenchResult {
+func dynamicBench(c Config, n int) []BenchResult {
 	g := gen.RandomConnected(n, 3*n, c.rng(int64(n)+917), gen.Options{Weights: gen.WeightsDistinct})
 	adv, err := dynamic.NewAdvisor(g.Clone(), 0, core.DefaultCap)
 	if err != nil {
@@ -128,14 +256,14 @@ func dynamicBench(c Config, n int) []SimBenchResult {
 			break
 		}
 	}
-	row := SimBenchResult{
-		Family: "random", N: g.N(), M: g.M(), Workers: 1, Verified: identical,
+	row := BenchResult{
+		Kind: "dynamic", Family: "random", N: g.N(), M: g.M(), Workers: 1, Verified: identical,
 	}
 	full := row
 	full.Scheme, full.WallNS = "advice-full", fullPer.Nanoseconds()
 	inc := row
 	inc.Scheme, inc.WallNS = "advice-incremental", incPer.Nanoseconds()
-	return []SimBenchResult{full, inc}
+	return []BenchResult{full, inc}
 }
 
 func maxInt(a, b int) int {

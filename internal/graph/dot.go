@@ -3,7 +3,6 @@ package graph
 import (
 	"fmt"
 	"io"
-	"sort"
 )
 
 // WriteDOT renders the graph in Graphviz DOT format, with node IDs as
@@ -26,12 +25,8 @@ func (g *Graph) WriteDOT(w io.Writer, name string, highlight []EdgeID) error {
 			return err
 		}
 	}
-	edges := make([]EdgeID, g.M())
-	for i := range edges {
-		edges[i] = EdgeID(i)
-	}
-	sort.Slice(edges, func(a, b int) bool { return edges[a] < edges[b] })
-	for _, e := range edges {
+	for ei := 0; ei < g.M(); ei++ {
+		e := EdgeID(ei)
 		rec := g.Edge(e)
 		style := ""
 		if marked[e] {

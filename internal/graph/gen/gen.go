@@ -56,6 +56,72 @@ type Options struct {
 
 type edgePair struct{ u, v int }
 
+// pairSet is an open-addressing hash set of node pairs used by the
+// randomised generators for duplicate rejection. It replaces the former
+// map[[2]int]bool: membership semantics are identical (so a given seed
+// still produces the exact same graph), but the set lives in one
+// power-of-two table of packed keys with linear probing — no per-insert
+// allocations and no bucket pointers to chase.
+type pairSet struct {
+	table []uint64
+	mask  uint64
+	used  int
+}
+
+// newPairSet sizes the table for the expected number of pairs at a load
+// factor below 1/2.
+func newPairSet(expected int) *pairSet {
+	size := 16
+	for size < 2*expected+1 {
+		size <<= 1
+	}
+	return &pairSet{table: make([]uint64, size), mask: uint64(size - 1)}
+}
+
+// add inserts the unordered pair {u, v} (u != v) and reports whether it
+// was absent. Keys are offset by one so the zero word means "empty".
+func (s *pairSet) add(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	key := (uint64(u)<<32 | uint64(uint32(v))) + 1
+	// Fibonacci hashing spreads the packed key over the table.
+	i := (key * 0x9E3779B97F4A7C15) & s.mask
+	for {
+		switch s.table[i] {
+		case 0:
+			if 2*(s.used+1) > len(s.table) {
+				s.grow()
+				return s.add(u, v) // table moved; re-probe
+			}
+			s.table[i] = key
+			s.used++
+			return true
+		case key:
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+func (s *pairSet) grow() {
+	old := s.table
+	s.table = make([]uint64, 2*len(old))
+	s.mask = uint64(len(s.table) - 1)
+	s.used = 0
+	for _, key := range old {
+		if key == 0 {
+			continue
+		}
+		i := (key * 0x9E3779B97F4A7C15) & s.mask
+		for s.table[i] != 0 {
+			i = (i + 1) & s.mask
+		}
+		s.table[i] = key
+		s.used++
+	}
+}
+
 // assemble turns a topology (node count + edge list) into a Graph.
 func assemble(n int, edges []edgePair, rng *rand.Rand, opt Options) *graph.Graph {
 	order := make([]int, len(edges))
@@ -93,6 +159,14 @@ func assemble(n int, edges []edgePair, rng *rand.Rand, opt Options) *graph.Graph
 		}
 		b.SetIDs(ids)
 	}
+	// The edge list is known up front, so count degrees and reserve the
+	// whole adjacency in one slab instead of growing n slices.
+	degrees := make([]int, n)
+	for _, e := range edges {
+		degrees[e.u]++
+		degrees[e.v]++
+	}
+	b.Grow(degrees)
 	for _, i := range order {
 		b.AddEdge(graph.NodeID(edges[i].u), graph.NodeID(edges[i].v), weights[i])
 	}
@@ -249,19 +323,18 @@ func RandomConnected(n, m int, rng *rand.Rand, opt Options) *graph.Graph {
 	if m > maxM {
 		m = maxM
 	}
-	seen := make(map[[2]int]bool, m)
-	var edges []edgePair
+	seen := newPairSet(m)
+	edges := make([]edgePair, 0, m)
 	add := func(u, v int) bool {
 		if u == v {
+			return false
+		}
+		if !seen.add(u, v) {
 			return false
 		}
 		if u > v {
 			u, v = v, u
 		}
-		if seen[[2]int{u, v}] {
-			return false
-		}
-		seen[[2]int{u, v}] = true
 		edges = append(edges, edgePair{u, v})
 		return true
 	}
@@ -322,8 +395,8 @@ func Expander(n, k int, rng *rand.Rand, opt Options) *graph.Graph {
 	if k < 1 {
 		k = 1
 	}
-	seen := make(map[[2]int]bool)
-	var edges []edgePair
+	seen := newPairSet(k * n)
+	edges := make([]edgePair, 0, k*n)
 	for c := 0; c < k; c++ {
 		perm := rng.Perm(n)
 		for i := 0; i < n; i++ {
@@ -331,8 +404,7 @@ func Expander(n, k int, rng *rand.Rand, opt Options) *graph.Graph {
 			if u > v {
 				u, v = v, u
 			}
-			if u != v && !seen[[2]int{u, v}] {
-				seen[[2]int{u, v}] = true
+			if u != v && seen.add(u, v) {
 				edges = append(edges, edgePair{u, v})
 			}
 		}

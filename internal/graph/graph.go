@@ -18,7 +18,9 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+
+	"mstadvice/internal/par"
 )
 
 // NodeID is the internal, dense identifier of a node: 0..N()-1. It is an
@@ -69,7 +71,9 @@ type Graph struct {
 
 // finalize builds the CSR representation from the per-node adjacency
 // lists and re-points them at the contiguous storage. Called once by
-// Builder.Build after validation.
+// Builder.Build after validation. The copy and the cross-port table are
+// filled in parallel over node ranges: every node's CSR segment is
+// disjoint, so the result is identical for any worker count.
 func (g *Graph) finalize() {
 	n := len(g.adj)
 	g.off = make([]int32, n+1)
@@ -81,15 +85,28 @@ func (g *Graph) finalize() {
 	g.off[n] = int32(total)
 	g.halves = make([]Half, total)
 	g.dstPort = make([]int32, total)
-	for u := 0; u < n; u++ {
-		base := int(g.off[u])
-		hs := g.adj[u]
-		copy(g.halves[base:], hs)
-		for p, h := range hs {
-			g.dstPort[base+p] = int32(g.PortAt(h.Edge, h.To))
+	par.Ranges(buildWorkers(n), n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			base := int(g.off[u])
+			hs := g.adj[u]
+			copy(g.halves[base:], hs)
+			for p, h := range hs {
+				g.dstPort[base+p] = int32(g.PortAt(h.Edge, h.To))
+			}
+			g.adj[u] = g.halves[base : base+len(hs) : base+len(hs)]
 		}
-		g.adj[u] = g.halves[base : base+len(hs) : base+len(hs)]
+	})
+}
+
+// buildWorkers sizes the pool for construction-time loops: one worker
+// per ~4096 items, capped at GOMAXPROCS, so the thousands of small
+// graphs the experiment sweeps build never pay fork-join overhead.
+func buildWorkers(items int) int {
+	w := 1 + items/4096
+	if full := par.Workers(0); w > full {
+		w = full
 	}
+	return w
 }
 
 // N returns the number of nodes.
@@ -263,12 +280,15 @@ func (g *Graph) PortsByLocalOrder(u NodeID) []int {
 	for i := range ports {
 		ports[i] = i
 	}
-	sort.Slice(ports, func(a, b int) bool {
-		ha, hb := g.adj[u][ports[a]], g.adj[u][ports[b]]
+	slices.SortFunc(ports, func(a, b int) int {
+		ha, hb := g.adj[u][a], g.adj[u][b]
 		if ha.W != hb.W {
-			return ha.W < hb.W
+			if ha.W < hb.W {
+				return -1
+			}
+			return 1
 		}
-		return ports[a] < ports[b]
+		return a - b
 	})
 	return ports
 }
@@ -293,8 +313,16 @@ func (g *Graph) PortsByGlobalOrder(u NodeID) []int {
 	for i := range ports {
 		ports[i] = i
 	}
-	sort.Slice(ports, func(a, b int) bool {
-		return g.Key(g.adj[u][ports[a]].Edge).Less(g.Key(g.adj[u][ports[b]].Edge))
+	slices.SortFunc(ports, func(a, b int) int {
+		ka, kb := g.Key(g.adj[u][a].Edge), g.Key(g.adj[u][b].Edge)
+		switch {
+		case ka.Less(kb):
+			return -1
+		case kb.Less(ka):
+			return 1
+		default:
+			return 0
+		}
 	})
 	return ports
 }
@@ -308,18 +336,31 @@ type Index struct {
 }
 
 // IndexAt computes indexu(e) for the half-edge of u at the given port.
+// X counts the distinct weights below me.W by collecting them into a
+// stack buffer, sorting, and counting adjacent changes — O(deg log deg)
+// with zero heap allocations up to degree 128 (beyond that the buffer
+// spills to the heap but the complexity bound holds); Y counts lower
+// ports of the same weight directly.
 func (g *Graph) IndexAt(u NodeID, port int) Index {
-	me := g.adj[u][port]
-	seen := map[Weight]bool{}
-	x := 1
+	adj := g.adj[u]
+	me := adj[port]
 	y := 1
-	for p, h := range g.adj[u] {
-		if h.W < me.W && !seen[h.W] {
-			seen[h.W] = true
-			x++
+	var stack [128]Weight
+	smaller := stack[:0]
+	for p, h := range adj {
+		if h.W == me.W {
+			if p < port {
+				y++
+			}
+		} else if h.W < me.W {
+			smaller = append(smaller, h.W)
 		}
-		if h.W == me.W && p < port {
-			y++
+	}
+	slices.Sort(smaller)
+	x := 1
+	for i, w := range smaller {
+		if i == 0 || w != smaller[i-1] {
+			x++
 		}
 	}
 	return Index{x, y}
@@ -393,18 +434,39 @@ func (g *Graph) Diameter() int {
 }
 
 // Validate performs structural integrity checks (port reciprocity, ID
-// distinctness, simplicity). It is cheap enough to call from tests on every
-// generated graph.
+// distinctness, simplicity). It is allocation-lean and parallel enough to
+// run on every generated graph up to n = 10⁶: duplicate detection is a
+// sort-and-dedup pass over packed keys instead of a hash set, and the
+// per-edge consistency checks run over edge ranges on the worker pool.
 func (g *Graph) Validate() error {
-	seenID := make(map[int64]NodeID, len(g.ids))
-	for u, id := range g.ids {
-		if prev, dup := seenID[id]; dup {
-			return fmt.Errorf("graph: duplicate ID %d at nodes %d and %d", id, prev, u)
-		}
-		seenID[id] = NodeID(u)
+	// ID distinctness: sort (id, node) pairs and compare neighbours.
+	type idPair struct {
+		id   int64
+		node NodeID
 	}
-	type pair struct{ a, b NodeID }
-	seenEdge := make(map[pair]bool, len(g.edges))
+	idPairs := make([]idPair, len(g.ids))
+	for u, id := range g.ids {
+		idPairs[u] = idPair{id, NodeID(u)}
+	}
+	slices.SortFunc(idPairs, func(a, b idPair) int {
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		default:
+			return int(a.node - b.node)
+		}
+	})
+	for i := 1; i < len(idPairs); i++ {
+		if idPairs[i].id == idPairs[i-1].id {
+			return fmt.Errorf("graph: duplicate ID %d at nodes %d and %d",
+				idPairs[i].id, idPairs[i-1].node, idPairs[i].node)
+		}
+	}
+	// Simplicity: self-loops inline, duplicates by sorting packed
+	// endpoint keys (nodes fit in 32 bits far beyond any supported n).
+	keys := make([]uint64, len(g.edges))
 	for ei, e := range g.edges {
 		if e.U == e.V {
 			return fmt.Errorf("graph: edge %d is a self-loop at %d", ei, e.U)
@@ -413,19 +475,33 @@ func (g *Graph) Validate() error {
 		if a > b {
 			a, b = b, a
 		}
-		if seenEdge[pair{a, b}] {
-			return fmt.Errorf("graph: duplicate edge %d-%d", e.U, e.V)
+		keys[ei] = uint64(a)<<32 | uint64(uint32(b))
+	}
+	slices.Sort(keys)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			return fmt.Errorf("graph: duplicate edge %d-%d", keys[i]>>32, uint32(keys[i]))
 		}
-		seenEdge[pair{a, b}] = true
-		if g.adj[e.U][e.PU].Edge != EdgeID(ei) || g.adj[e.V][e.PV].Edge != EdgeID(ei) {
-			return fmt.Errorf("graph: port table inconsistent for edge %d", ei)
+	}
+	// Port-table, adjacency and weight reciprocity, in parallel over edge
+	// ranges; par.FirstFailure reports the lowest failing edge, the same
+	// error a sequential scan would return.
+	err := par.FirstFailure(buildWorkers(len(g.edges)), len(g.edges), func(_, lo, hi int) (int, error) {
+		for ei := lo; ei < hi; ei++ {
+			e := g.edges[ei]
+			switch {
+			case g.adj[e.U][e.PU].Edge != EdgeID(ei) || g.adj[e.V][e.PV].Edge != EdgeID(ei):
+				return ei, fmt.Errorf("graph: port table inconsistent for edge %d", ei)
+			case g.adj[e.U][e.PU].To != e.V || g.adj[e.V][e.PV].To != e.U:
+				return ei, fmt.Errorf("graph: adjacency inconsistent for edge %d", ei)
+			case g.adj[e.U][e.PU].W != e.W || g.adj[e.V][e.PV].W != e.W:
+				return ei, fmt.Errorf("graph: weight inconsistent for edge %d", ei)
+			}
 		}
-		if g.adj[e.U][e.PU].To != e.V || g.adj[e.V][e.PV].To != e.U {
-			return fmt.Errorf("graph: adjacency inconsistent for edge %d", ei)
-		}
-		if g.adj[e.U][e.PU].W != e.W || g.adj[e.V][e.PV].W != e.W {
-			return fmt.Errorf("graph: weight inconsistent for edge %d", ei)
-		}
+		return -1, nil
+	})
+	if err != nil {
+		return err
 	}
 	total := 0
 	for u := range g.adj {
@@ -440,11 +516,14 @@ func (g *Graph) Validate() error {
 // Builder assembles a Graph. Nodes are created up front; edges are added
 // one at a time and receive consecutive ports at each endpoint in insertion
 // order (generators shuffle insertion order to randomise port labellings).
+//
+// AddEdge performs only O(1) endpoint checks; duplicate edges are caught
+// by Build's sort-and-dedup validation pass instead of a per-edge hash
+// set, which keeps construction allocation-lean at n = 10⁶ scale.
 type Builder struct {
 	adj   [][]Half
 	edges []Edge
 	ids   []int64
-	seen  map[[2]NodeID]bool
 	err   error
 }
 
@@ -452,13 +531,49 @@ type Builder struct {
 // identifiers ID(u) = u+1.
 func NewBuilder(n int) *Builder {
 	b := &Builder{
-		adj:  make([][]Half, n),
-		ids:  make([]int64, n),
-		seen: make(map[[2]NodeID]bool),
+		adj: make([][]Half, n),
+		ids: make([]int64, n),
 	}
 	for i := range b.ids {
 		b.ids[i] = int64(i + 1)
 	}
+	return b
+}
+
+// Grow preallocates the adjacency lists for the given per-node degrees in
+// one contiguous slab and reserves the edge array, so a generator that
+// knows its edge list up front builds the graph with O(1) allocations
+// instead of O(n) incremental slice growths. Degrees are capacities, not
+// limits: a node may still exceed its reservation (that slice falls back
+// to ordinary append growth). Grow must be called before the first
+// AddEdge.
+func (b *Builder) Grow(degrees []int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(degrees) != len(b.adj) {
+		b.fail(fmt.Errorf("graph: Grow got %d degrees for %d nodes", len(degrees), len(b.adj)))
+		return b
+	}
+	if len(b.edges) > 0 {
+		b.fail(fmt.Errorf("graph: Grow called after %d AddEdge calls", len(b.edges)))
+		return b
+	}
+	total := 0
+	for u, d := range degrees {
+		if d < 0 {
+			b.fail(fmt.Errorf("graph: Grow got negative degree %d for node %d", d, u))
+			return b
+		}
+		total += d
+	}
+	slab := make([]Half, total)
+	off := 0
+	for u, d := range degrees {
+		b.adj[u] = slab[off : off : off+d]
+		off += d
+	}
+	b.edges = make([]Edge, 0, total/2)
 	return b
 }
 
@@ -494,15 +609,6 @@ func (b *Builder) AddEdge(u, v NodeID, w Weight) *Builder {
 		b.fail(fmt.Errorf("graph: self-loop at %d", u))
 		return b
 	}
-	key := [2]NodeID{u, v}
-	if u > v {
-		key = [2]NodeID{v, u}
-	}
-	if b.seen[key] {
-		b.fail(fmt.Errorf("graph: duplicate edge %d-%d", u, v))
-		return b
-	}
-	b.seen[key] = true
 	e := EdgeID(len(b.edges))
 	b.edges = append(b.edges, Edge{U: u, V: v, PU: len(b.adj[u]), PV: len(b.adj[v]), W: w})
 	b.adj[u] = append(b.adj[u], Half{To: v, W: w, Edge: e})

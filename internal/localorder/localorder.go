@@ -14,9 +14,8 @@
 package localorder
 
 import (
-	"sort"
-
 	"mstadvice/internal/graph"
+	"slices"
 )
 
 // PortsByLocal returns the ports 0..deg-1 sorted by the local order
@@ -26,12 +25,15 @@ func PortsByLocal(portW []graph.Weight) []int {
 	for i := range ports {
 		ports[i] = i
 	}
-	sort.Slice(ports, func(a, b int) bool {
-		wa, wb := portW[ports[a]], portW[ports[b]]
+	slices.SortFunc(ports, func(a, b int) int {
+		wa, wb := portW[a], portW[b]
 		if wa != wb {
-			return wa < wb
+			if wa < wb {
+				return -1
+			}
+			return 1
 		}
-		return ports[a] < ports[b]
+		return a - b
 	})
 	return ports
 }
@@ -76,7 +78,16 @@ func PortsByGlobal(portW []graph.Weight, selfID int64, nbrID []int64, nbrPort []
 	for i := range ports {
 		ports[i] = i
 	}
-	sort.Slice(ports, func(a, b int) bool { return keys[ports[a]].Less(keys[ports[b]]) })
+	slices.SortFunc(ports, func(a, b int) int {
+		switch {
+		case keys[a].Less(keys[b]):
+			return -1
+		case keys[b].Less(keys[a]):
+			return 1
+		default:
+			return 0
+		}
+	})
 	return ports
 }
 

@@ -7,7 +7,7 @@ package mst
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"mstadvice/internal/graph"
 	"mstadvice/internal/unionfind"
@@ -20,7 +20,16 @@ func Kruskal(g *graph.Graph) ([]graph.EdgeID, error) {
 	for i := range order {
 		order[i] = graph.EdgeID(i)
 	}
-	sort.Slice(order, func(a, b int) bool { return g.EdgeLess(order[a], order[b]) })
+	slices.SortFunc(order, func(a, b graph.EdgeID) int {
+		switch {
+		case g.EdgeLess(a, b):
+			return -1
+		case g.EdgeLess(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
 	dsu := unionfind.New(g.N())
 	tree := make([]graph.EdgeID, 0, g.N()-1)
 	for _, e := range order {
@@ -32,7 +41,7 @@ func Kruskal(g *graph.Graph) ([]graph.EdgeID, error) {
 	if len(tree) != g.N()-1 {
 		return nil, fmt.Errorf("mst: graph is disconnected (%d tree edges for %d nodes)", len(tree), g.N())
 	}
-	sort.Slice(tree, func(a, b int) bool { return tree[a] < tree[b] })
+	slices.Sort(tree)
 	return tree, nil
 }
 
@@ -116,7 +125,7 @@ func Prim(g *graph.Graph, start graph.NodeID) ([]graph.EdgeID, error) {
 	if len(tree) != g.N()-1 {
 		return nil, fmt.Errorf("mst: graph is disconnected")
 	}
-	sort.Slice(tree, func(a, b int) bool { return tree[a] < tree[b] })
+	slices.Sort(tree)
 	return tree, nil
 }
 
@@ -154,7 +163,7 @@ func Boruvka(g *graph.Graph) ([]graph.EdgeID, error) {
 		for r := range best {
 			roots = append(roots, r)
 		}
-		sort.Ints(roots)
+		slices.Sort(roots)
 		for _, r := range roots {
 			e := best[r]
 			rec := g.Edge(e)
@@ -167,7 +176,7 @@ func Boruvka(g *graph.Graph) ([]graph.EdgeID, error) {
 			return nil, fmt.Errorf("mst: no progress (internal error)")
 		}
 	}
-	sort.Slice(tree, func(a, b int) bool { return tree[a] < tree[b] })
+	slices.Sort(tree)
 	return tree, nil
 }
 
@@ -183,7 +192,16 @@ func ReverseDelete(g *graph.Graph) ([]graph.EdgeID, error) {
 	for i := range order {
 		order[i] = graph.EdgeID(i)
 	}
-	sort.Slice(order, func(a, b int) bool { return g.EdgeLess(order[b], order[a]) }) // descending
+	slices.SortFunc(order, func(a, b graph.EdgeID) int { // descending
+		switch {
+		case g.EdgeLess(b, a):
+			return -1
+		case g.EdgeLess(a, b):
+			return 1
+		default:
+			return 0
+		}
+	})
 	kept := make([]bool, g.M())
 	for i := range kept {
 		kept[i] = true
@@ -298,30 +316,50 @@ func Verify(g *graph.Graph, edges []graph.EdgeID) error {
 }
 
 // Root orients a spanning tree towards root and returns, for every node,
-// the port of the edge leading to its parent (-1 for the root).
+// the port of the edge leading to its parent (-1 for the root). The tree
+// adjacency is a counting-sort CSR (three fixed allocations), so rooting
+// stays allocation-lean on the oracle pipeline at n = 10⁶.
 func Root(g *graph.Graph, edges []graph.EdgeID, root graph.NodeID) ([]int, error) {
-	if len(edges) != g.N()-1 {
-		return nil, fmt.Errorf("mst: %d edges cannot span %d nodes", len(edges), g.N())
+	n := g.N()
+	if len(edges) != n-1 {
+		return nil, fmt.Errorf("mst: %d edges cannot span %d nodes", len(edges), n)
 	}
-	adj := make([][]graph.EdgeID, g.N())
+	deg := make([]int32, n+1)
 	for _, e := range edges {
 		rec := g.Edge(e)
-		adj[rec.U] = append(adj[rec.U], e)
-		adj[rec.V] = append(adj[rec.V], e)
+		deg[rec.U+1]++
+		deg[rec.V+1]++
 	}
-	parentPort := make([]int, g.N())
+	for u := 0; u < n; u++ {
+		deg[u+1] += deg[u]
+	}
+	adjFlat := make([]graph.EdgeID, deg[n])
+	cur := make([]int32, n)
+	copy(cur, deg[:n])
+	for _, e := range edges {
+		rec := g.Edge(e)
+		adjFlat[cur[rec.U]] = e
+		cur[rec.U]++
+		adjFlat[cur[rec.V]] = e
+		cur[rec.V]++
+	}
+	parentPort := make([]int, n)
 	for i := range parentPort {
 		parentPort[i] = -2 // unvisited
 	}
 	parentPort[root] = -1
-	queue := []graph.NodeID{root}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, e := range adj[u] {
-			v := g.Other(e, u)
+	queue := make([]graph.NodeID, 0, n)
+	queue = append(queue, root)
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, e := range adjFlat[deg[u]:cur[u]] {
+			rec := g.Edge(e)
+			v, pv := rec.V, rec.PV
+			if v == u {
+				v, pv = rec.U, rec.PU
+			}
 			if parentPort[v] == -2 {
-				parentPort[v] = g.PortAt(e, v)
+				parentPort[v] = pv
 				queue = append(queue, v)
 			}
 		}
@@ -356,7 +394,7 @@ func EdgesFromParentPorts(g *graph.Graph, parentPort []int) ([]graph.EdgeID, err
 	if roots != 1 {
 		return nil, fmt.Errorf("mst: %d roots, want exactly 1", roots)
 	}
-	sort.Slice(edges, func(a, b int) bool { return edges[a] < edges[b] })
+	slices.Sort(edges)
 	return edges, nil
 }
 

@@ -1,0 +1,83 @@
+// Package par is the tiny deterministic fork-join helper shared by the
+// oracle-side pipeline (graph finalize, the Borůvka phase kernel, advice
+// encoding). Work is split into contiguous index ranges, one per worker;
+// every call site keeps its writes disjoint per range (or merges
+// per-worker accumulators at the barrier), so results are byte-identical
+// for any worker count — the same contract the round engine in
+// internal/sim honors.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: 0 (or negative) means
+// GOMAXPROCS, anything else is returned as is (a count above GOMAXPROCS
+// is legal — the goroutines just share cores).
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Ranges runs fn over [0, n) split into at most `workers` contiguous
+// chunks and waits for all of them. fn receives the worker index (for
+// per-worker accumulators) and its half-open range. With one worker (or a
+// tiny n) it runs inline on the caller's goroutine, so the sequential
+// path pays no synchronization.
+func Ranges(workers, n int, fn func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n < 2 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// FirstFailure is Ranges for loops that can fail: fn processes one
+// contiguous range and returns the index of its first failure together
+// with the error (a negative index means the range succeeded). After
+// the barrier the failure with the lowest index wins, so the reported
+// error is the one a sequential scan would have surfaced — regardless
+// of worker count or scheduling.
+func FirstFailure(workers, n int, fn func(w, lo, hi int) (int, error)) error {
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make([]int, workers)
+	errs := make([]error, workers)
+	for w := range idx {
+		idx[w] = -1
+	}
+	Ranges(workers, n, func(w, lo, hi int) {
+		idx[w], errs[w] = fn(w, lo, hi)
+	})
+	best := -1
+	var firstErr error
+	for w := range idx {
+		if idx[w] >= 0 && errs[w] != nil && (best == -1 || idx[w] < best) {
+			best, firstErr = idx[w], errs[w]
+		}
+	}
+	return firstErr
+}

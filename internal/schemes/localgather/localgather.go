@@ -13,7 +13,7 @@ package localgather
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"mstadvice/internal/bitstring"
 	"mstadvice/internal/graph"
@@ -127,12 +127,22 @@ func (n *node) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Received) []s
 		n.done = true
 		return nil
 	}
-	sort.Slice(fresh, func(a, b int) bool {
-		ka, kb := fresh[a].key(), fresh[b].key()
+	slices.SortFunc(fresh, func(a, b record) int {
+		ka, kb := a.key(), b.key()
 		if ka.AID != kb.AID {
-			return ka.AID < kb.AID
+			if ka.AID < kb.AID {
+				return -1
+			}
+			return 1
 		}
-		return ka.BID < kb.BID
+		switch {
+		case ka.BID < kb.BID:
+			return -1
+		case ka.BID > kb.BID:
+			return 1
+		default:
+			return 0
+		}
 	})
 	sends := n.sendBuf[:0]
 	for p := 0; p < view.Deg; p++ {
@@ -169,7 +179,17 @@ func (n *node) solve(view *sim.NodeView) {
 	for _, r := range n.records {
 		recs = append(recs, r)
 	}
-	sort.Slice(recs, func(a, b int) bool { return recs[a].globalKey().Less(recs[b].globalKey()) })
+	slices.SortFunc(recs, func(a, b record) int {
+		ka, kb := a.globalKey(), b.globalKey()
+		switch {
+		case ka.Less(kb):
+			return -1
+		case kb.Less(ka):
+			return 1
+		default:
+			return 0
+		}
+	})
 	// Dense index per ID.
 	idx := make(map[int64]int)
 	use := func(id int64) int {

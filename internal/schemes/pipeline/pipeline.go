@@ -21,7 +21,7 @@ package pipeline
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"mstadvice/internal/bitstring"
 	"mstadvice/internal/graph"
@@ -363,7 +363,16 @@ func (n *node) startDowncast(view *sim.NodeView) []sim.Send {
 	// BFS from the leader's ID; deterministic order.
 	for id := range adj {
 		list := adj[id]
-		sort.Slice(list, func(a, b int) bool { return list[a].other < list[b].other })
+		slices.SortFunc(list, func(a, b half) int {
+			switch {
+			case a.other < b.other:
+				return -1
+			case a.other > b.other:
+				return 1
+			default:
+				return 0
+			}
+		})
 	}
 	visited := map[int64]bool{view.ID: true}
 	queue := []int64{view.ID}

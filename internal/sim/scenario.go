@@ -2,7 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"mstadvice/internal/graph"
 )
@@ -79,7 +79,7 @@ func (s *Scenario) validate(g *graph.Graph) ([]ScenarioEvent, error) {
 			return nil, fmt.Errorf("sim: scenario event %d has unknown action %d", i, int(ev.Action))
 		}
 	}
-	sort.SliceStable(events, func(a, b int) bool { return events[a].Round < events[b].Round })
+	slices.SortStableFunc(events, func(a, b ScenarioEvent) int { return a.Round - b.Round })
 	return events, nil
 }
 
