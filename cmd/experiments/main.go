@@ -9,13 +9,16 @@
 //	                                  # engine micro-benchmark, machine-readable
 //	experiments -bench-oracle BENCH_oracle.json
 //	                                  # oracle-pipeline benchmark (n up to 10⁶)
+//	experiments -bench-service BENCH_service.json
+//	                                  # advice-serving layer: store round-trip,
+//	                                  # closed-loop query QPS/latency, churn
 //	experiments -bench-oracle /tmp/now.json -sizes 10000 \
 //	            -bench-baseline BENCH_oracle.json
 //	                                  # CI smoke: fail on >2x regression
 //
-// With -bench-sim / -bench-oracle the command skips the tables, runs the
-// corresponding benchmark (see internal/experiments.SimBench and
-// OracleBench) and writes the rows as JSON. Running it with the
+// With -bench-sim / -bench-oracle / -bench-service the command skips the
+// tables, runs the corresponding benchmark (see internal/experiments:
+// SimBench, OracleBench, ServiceBench) and writes the rows as JSON. Running it with the
 // committed file names regenerates the in-tree perf trajectory;
 // -bench-baseline additionally compares the fresh rows against a
 // committed baseline and exits non-zero on any wall-time or allocation
@@ -34,14 +37,16 @@ import (
 
 func main() {
 	var (
-		which       = flag.String("e", "all", "comma-separated experiment ids (e1..e11) or 'all'")
-		sizes       = flag.String("sizes", "", "comma-separated n sweep (default 16,64,256,1024)")
-		families    = flag.String("families", "", "comma-separated families (default path,grid,random,expander)")
-		seed        = flag.Int64("seed", 1, "generator seed")
-		benchSim    = flag.String("bench-sim", "", "run the engine benchmark and write JSON to this file instead of tables")
-		benchOracle = flag.String("bench-oracle", "", "run the oracle-pipeline benchmark and write JSON to this file instead of tables")
-		benchBase   = flag.String("bench-baseline", "", "compare benchmark rows against this committed baseline JSON and fail on regression")
-		benchFactor = flag.Float64("bench-max-factor", 2.0, "regression threshold for -bench-baseline (ratio to baseline)")
+		which          = flag.String("e", "all", "comma-separated experiment ids (e1..e11) or 'all'")
+		sizes          = flag.String("sizes", "", "comma-separated n sweep (default 16,64,256,1024)")
+		families       = flag.String("families", "", "comma-separated families (default path,grid,random,expander)")
+		seed           = flag.Int64("seed", 1, "generator seed")
+		benchSim       = flag.String("bench-sim", "", "run the engine benchmark and write JSON to this file instead of tables")
+		benchOracle    = flag.String("bench-oracle", "", "run the oracle-pipeline benchmark and write JSON to this file instead of tables")
+		benchService   = flag.String("bench-service", "", "run the advice-serving-layer benchmark and write JSON to this file instead of tables")
+		serviceQueries = flag.Int("service-queries", 0, "closed-loop query count per -bench-service row (0 = default)")
+		benchBase      = flag.String("bench-baseline", "", "compare benchmark rows against this committed baseline JSON and fail on regression")
+		benchFactor    = flag.Float64("bench-max-factor", 2.0, "regression threshold for -bench-baseline (ratio to baseline)")
 	)
 	flag.Parse()
 
@@ -62,10 +67,22 @@ func main() {
 		fail("%v", err)
 	}
 
-	if *benchBase != "" && *benchSim == "" && *benchOracle == "" {
-		fail("-bench-baseline needs -bench-sim and/or -bench-oracle to produce rows to compare")
+	cfg.Queries = *serviceQueries
+	if *benchBase != "" && *benchSim == "" && *benchOracle == "" && *benchService == "" {
+		fail("-bench-baseline needs -bench-sim, -bench-oracle and/or -bench-service to produce rows to compare")
 	}
-	if *benchSim != "" || *benchOracle != "" {
+	if *benchSim != "" || *benchOracle != "" || *benchService != "" {
+		// Read the baseline before any bench writes its rows: the output
+		// path may BE the committed baseline (one step regenerates the
+		// artifact and gates it against the committed state in a single
+		// run).
+		var baseline []experiments.BenchResult
+		if *benchBase != "" {
+			var err error
+			if baseline, err = experiments.ReadBench(*benchBase); err != nil {
+				fail("%v", err)
+			}
+		}
 		var all []experiments.BenchResult
 		if *benchSim != "" {
 			rows := experiments.SimBench(cfg)
@@ -83,11 +100,15 @@ func main() {
 			fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), *benchOracle)
 			all = append(all, rows...)
 		}
-		if *benchBase != "" {
-			baseline, err := experiments.ReadBench(*benchBase)
-			if err != nil {
+		if *benchService != "" {
+			rows := experiments.ServiceBench(cfg)
+			if err := experiments.WriteBench(*benchService, rows); err != nil {
 				fail("%v", err)
 			}
+			fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), *benchService)
+			all = append(all, rows...)
+		}
+		if *benchBase != "" {
 			regressions := experiments.CompareBaseline(all, baseline, *benchFactor)
 			for _, r := range regressions {
 				fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)

@@ -6,7 +6,14 @@
 //	mstadvice -all -family lollipop -n 128
 //	mstadvice -sensitivity -family random -n 256     # per-edge MST tolerances
 //	mstadvice -faults 8 -family expander -n 128      # fail 8 non-tree links mid-run
+//	mstadvice -save run.mstadv -family random -n 100000   # persist graph + advice
+//	mstadvice -load run.mstadv                       # rerun on the stored instance
 //	mstadvice -list
+//
+// -save writes the generated graph together with the core oracle's
+// advice as an internal/store snapshot, the file format served by the
+// mstadviced daemon; -load replays any scheme on a stored instance
+// (generator flags are then ignored).
 package main
 
 import (
@@ -15,13 +22,16 @@ import (
 	"math/rand"
 	"os"
 	"slices"
+	"time"
 
 	"mstadvice"
 
+	"mstadvice/internal/core"
 	"mstadvice/internal/dynamic"
 	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
 	"mstadvice/internal/report"
+	"mstadvice/internal/store"
 )
 
 func main() {
@@ -36,6 +46,8 @@ func main() {
 		list        = flag.Bool("list", false, "list schemes and families, then exit")
 		sensitivity = flag.Bool("sensitivity", false, "print the MST sensitivity analysis of the graph and exit")
 		faults      = flag.Int("faults", 0, "fail this many non-tree links from round 2 onward (scenario fault injection)")
+		savePath    = flag.String("save", "", "save the graph and its core-oracle advice to this store snapshot file")
+		loadPath    = flag.String("load", "", "load the graph (and root) from a store snapshot instead of generating one")
 	)
 	flag.Parse()
 
@@ -71,12 +83,49 @@ func main() {
 		fail("unknown weight mode %q", *weights)
 	}
 
-	g, err := fam.Generate(*n, rand.New(rand.NewSource(*seed)), gen.Options{Weights: mode})
-	if err != nil {
-		fail("%v", err)
+	var g *mstadvice.Graph
+	if *loadPath != "" {
+		start := time.Now()
+		snap, err := store.OpenMapped(*loadPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		g = snap.Graph
+		rootSet := false
+		flag.Visit(func(f *flag.Flag) { rootSet = rootSet || f.Name == "root" })
+		if !rootSet {
+			*root = int(snap.Root)
+		}
+		*family = "stored"
+		fmt.Printf("loaded %s: n=%d, m=%d, root=%d, advice %s, in %v\n",
+			*loadPath, g.N(), g.M(), snap.Root, adviceNote(snap), time.Since(start).Round(time.Millisecond))
+	} else {
+		var err error
+		g, err = fam.Generate(*n, rand.New(rand.NewSource(*seed)), gen.Options{Weights: mode})
+		if err != nil {
+			fail("%v", err)
+		}
 	}
 	if *root < 0 || *root >= g.N() {
 		fail("root %d out of range [0,%d)", *root, g.N())
+	}
+
+	if *savePath != "" {
+		adviceBits, err := core.BuildAdvice(g, graph.NodeID(*root), core.DefaultCap)
+		if err != nil {
+			fail("oracle for -save: %v", err)
+		}
+		snap := &store.Snapshot{Graph: g, Root: graph.NodeID(*root), Cap: core.DefaultCap, Advice: adviceBits}
+		start := time.Now()
+		if err := store.Save(*savePath, snap); err != nil {
+			fail("%v", err)
+		}
+		st, err := os.Stat(*savePath)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("saved %s: n=%d, m=%d, %d bytes, in %v\n",
+			*savePath, g.N(), g.M(), st.Size(), time.Since(start).Round(time.Millisecond))
 	}
 
 	if *sensitivity {
@@ -214,6 +263,20 @@ func printSensitivity(g *mstadvice.Graph, family string, mode mstadvice.WeightMo
 	if _, err := t.WriteTo(os.Stdout); err != nil {
 		fail("%v", err)
 	}
+}
+
+// adviceNote describes a snapshot's advice section for the -load banner.
+func adviceNote(snap *store.Snapshot) string {
+	if snap.Advice == nil {
+		return "absent"
+	}
+	max := 0
+	for _, a := range snap.Advice {
+		if a.Len() > max {
+			max = a.Len()
+		}
+	}
+	return fmt.Sprintf("stored (max %d bits)", max)
 }
 
 func fail(format string, args ...interface{}) {

@@ -1,0 +1,158 @@
+// Command mstadviced is the advice-serving daemon: it loads stored
+// oracle runs (internal/store snapshots) and serves per-node advice,
+// full local-MST reconstructions and batched dynamic updates over
+// HTTP/JSON (see internal/service for the endpoint list and the
+// sharded copy-on-write concurrency model).
+//
+//	mstadviced -listen :8371 -load big=run_1e6.mstadv
+//	mstadviced -graph demo=random:10000:7
+//	curl localhost:8371/v1/graphs/big/advice?node=42
+//	curl localhost:8371/v1/graphs/big/decode
+//	curl -X POST localhost:8371/v1/graphs/big/update \
+//	     -d '{"weights":[{"edge":3,"w":999}]}'
+//
+// SIGINT/SIGTERM drain the server: in-flight decode and update work is
+// canceled at round/batch granularity (advice.RunCtx,
+// dynamic.Advisor.UpdateCtx) instead of leaking until completion.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"mstadvice/internal/graph"
+	"mstadvice/internal/graph/gen"
+	"mstadvice/internal/service"
+	"mstadvice/internal/store"
+)
+
+// repeatable collects repeated -load/-graph flags.
+type repeatable []string
+
+func (r *repeatable) String() string     { return strings.Join(*r, ",") }
+func (r *repeatable) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":8371", "HTTP listen address")
+		loads      repeatable
+		graphs     repeatable
+		allowPaths = flag.Bool("allow-path-register", true, "allow POST /v1/graphs to load snapshots from server-side paths")
+	)
+	flag.Var(&loads, "load", "register a stored snapshot: id=path (repeatable)")
+	flag.Var(&graphs, "graph", "register a generated instance: id=family:n[:seed] (repeatable)")
+	flag.Parse()
+
+	svc := service.New()
+	for _, spec := range loads {
+		id, path, ok := strings.Cut(spec, "=")
+		if !ok || id == "" || path == "" {
+			fail("bad -load %q (want id=path)", spec)
+		}
+		start := time.Now()
+		snap, err := store.OpenMapped(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := svc.Register(id, snap); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("loaded %s: n=%d m=%d in %v\n", id, snap.Graph.N(), snap.Graph.M(), time.Since(start).Round(time.Millisecond))
+	}
+	for _, spec := range graphs {
+		id, snap, err := generateSpec(spec)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := svc.Register(id, snap); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("generated %s: n=%d m=%d\n", id, snap.Graph.N(), snap.Graph.M())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Addr:    *listen,
+		Handler: service.NewHandler(svc, *allowPaths),
+		// Per-request contexts inherit the daemon's: a shutdown cancels
+		// in-flight decodes and updates, which check it between rounds
+		// and before recomputes.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		fmt.Printf("mstadviced listening on %s (%d graphs)\n", *listen, len(svc.List()))
+		err := srv.ListenAndServe()
+		if !errors.Is(err, http.ErrServerClosed) {
+			done <- err
+			return
+		}
+		done <- nil
+	}()
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("mstadviced: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fail("shutdown: %v", err)
+		}
+		<-done
+	case err := <-done:
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+}
+
+// generateSpec parses id=family:n[:seed] and builds the instance; the
+// oracle runs at Register time.
+func generateSpec(spec string) (string, *store.Snapshot, error) {
+	id, rest, ok := strings.Cut(spec, "=")
+	if !ok || id == "" {
+		return "", nil, fmt.Errorf("bad -graph %q (want id=family:n[:seed])", spec)
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return "", nil, fmt.Errorf("bad -graph %q (want id=family:n[:seed])", spec)
+	}
+	fam, err := gen.ByName(parts[0])
+	if err != nil {
+		return "", nil, err
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", nil, fmt.Errorf("bad size in -graph %q: %w", spec, err)
+	}
+	seed := int64(1)
+	if len(parts) == 3 {
+		if seed, err = strconv.ParseInt(parts[2], 10, 64); err != nil {
+			return "", nil, fmt.Errorf("bad seed in -graph %q: %w", spec, err)
+		}
+	}
+	g, err := fam.Generate(n, rand.New(rand.NewSource(seed)), gen.Options{})
+	if err != nil {
+		return "", nil, err
+	}
+	return id, &store.Snapshot{Graph: g, Root: graph.NodeID(0)}, nil
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mstadviced: "+format+"\n", args...)
+	os.Exit(2)
+}

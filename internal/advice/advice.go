@@ -9,6 +9,7 @@
 package advice
 
 import (
+	"context"
 	"fmt"
 
 	"mstadvice/internal/bitstring"
@@ -110,6 +111,21 @@ type WorkerAdviser interface {
 // violations) are returned as errors; verification failures are reported
 // in the Result so experiments can count them.
 func Run(scheme Scheme, g *graph.Graph, root graph.NodeID, opt sim.Options) (*Result, error) {
+	return RunCtx(context.Background(), scheme, g, root, opt)
+}
+
+// RunCtx is Run with cancellation: the context is checked before the
+// oracle runs and once per simulated round (via sim.Options.Context), so
+// a long-lived server can abandon an in-flight run on shutdown instead
+// of leaking the engine until it terminates on its own. A canceled run
+// returns the context's error, wrapped.
+func RunCtx(ctx context.Context, scheme Scheme, g *graph.Graph, root graph.NodeID, opt sim.Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("advice: run of %s canceled before the oracle: %w", scheme.Name(), err)
+	}
+	if opt.Context == nil && ctx != context.Background() {
+		opt.Context = ctx
+	}
 	if p, ok := scheme.(PulseNeeder); ok && p.NeedsPulses() {
 		opt.EnablePulses = true
 	}

@@ -1,11 +1,13 @@
 package advice
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
 
 	"mstadvice/internal/bitstring"
+	"mstadvice/internal/core"
 	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
 	"mstadvice/internal/mst"
@@ -138,5 +140,45 @@ func TestRunReportsVerificationFailure(t *testing.T) {
 	}
 	if res.Verified || res.VerifyErr == nil {
 		t.Fatalf("wrong output verified: %+v", res)
+	}
+}
+
+func TestRunCtxCanceledBeforeOracle(t *testing.T) {
+	g := gen.Path(16, rand.New(rand.NewSource(1)), gen.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, core.Scheme{}, g, 0, sim.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx on a canceled context = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCtxCanceledMidRun(t *testing.T) {
+	// A context that expires after the oracle stops the simulation at the
+	// next round boundary: the oracle-side check passes (the context is
+	// still live when RunCtx starts), the engine's per-round check fails,
+	// and the error chain carries the cause. Driving sim.Options.Context
+	// directly keeps the test deterministic — the engine sees the
+	// cancellation exactly at its first between-round check.
+	g := gen.RandomConnected(256, 512, rand.New(rand.NewSource(2)), gen.Options{})
+	simCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunCtx(context.Background(), core.Scheme{}, g, 0, sim.Options{Context: simCtx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx canceled mid-run = (%v, %v), want context.Canceled", res, err)
+	}
+}
+
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	g := gen.Ring(32, rand.New(rand.NewSource(3)), gen.Options{})
+	a, err := Run(core.Scheme{}, g, 0, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCtx(context.Background(), core.Scheme{}, g, 0, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || a.Messages != b.Messages || !b.Verified {
+		t.Fatalf("RunCtx(Background) diverged from Run: %+v vs %+v", a, b)
 	}
 }

@@ -99,6 +99,41 @@ func (s *BitString) AppendRange(t *BitString, from, to int) {
 	}
 }
 
+// Words returns the underlying 64-bit words of s, least significant bit
+// first within each word; bits at positions >= Len() in the last word are
+// zero. The returned slice aliases s and must not be modified. It is the
+// word-at-a-time read path of the binary codec (internal/store), which
+// would otherwise pay a per-bit call on every advice string.
+func (s *BitString) Words() []uint64 {
+	if s == nil {
+		return nil
+	}
+	return s.words
+}
+
+// LoadWords replaces the contents of s with the first nbits bits of the
+// given words (least significant bit first within each word). Storage is
+// reused when the capacity allows — arena-backed strings stay inside
+// their slab — and bits of the last word beyond nbits are masked off to
+// preserve the invariant that bits above Len() are zero, so later appends
+// stay correct. It is the word-at-a-time write path of the binary codec.
+func (s *BitString) LoadWords(words []uint64, nbits int) {
+	if nbits < 0 || nbits > 64*len(words) {
+		panic(fmt.Sprintf("bitstring: LoadWords of %d bits from %d words", nbits, len(words)))
+	}
+	need := (nbits + 63) / 64
+	if cap(s.words) >= need {
+		s.words = s.words[:need]
+	} else {
+		s.words = make([]uint64, need)
+	}
+	copy(s.words, words[:need])
+	if tail := uint(nbits) % 64; tail != 0 && need > 0 {
+		s.words[need-1] &= 1<<tail - 1
+	}
+	s.n = nbits
+}
+
 // Reset truncates s to the empty string, keeping its capacity for reuse.
 func (s *BitString) Reset() {
 	s.words = s.words[:0]
@@ -202,6 +237,36 @@ type Arena struct {
 	strings []BitString
 	words   []uint64
 	wpc     int // words per string
+}
+
+// NewRaggedArena returns an arena of len(bits) empty strings where
+// string i has capacity for bits[i] bits, packed back to back into one
+// slab. It is the exact-size counterpart of NewArena for populations
+// with known, non-uniform lengths (the store codec): the slab is
+// Σ⌈bits[i]/64⌉ words, so a hostile length table can never make the
+// arena allocate more than a constant factor of the input that
+// declared it.
+func NewRaggedArena(bits []int) *Arena {
+	total := 0
+	for _, b := range bits {
+		if b > 0 {
+			total += (b + 63) / 64
+		}
+	}
+	a := &Arena{
+		strings: make([]BitString, len(bits)),
+		words:   make([]uint64, total),
+	}
+	off := 0
+	for i, b := range bits {
+		w := 0
+		if b > 0 {
+			w = (b + 63) / 64
+		}
+		a.strings[i].words = a.words[off : off : off+w]
+		off += w
+	}
+	return a
 }
 
 // NewArena returns an arena of count empty strings, each with capacity

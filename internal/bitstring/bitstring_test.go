@@ -318,3 +318,91 @@ func BenchmarkUintField(b *testing.B) {
 		_ = s.Uint((i%100)*64, 64)
 	}
 }
+
+func TestWordsZeroTail(t *testing.T) {
+	s := New(0)
+	s.AppendUint(0b1011, 4)
+	words := s.Words()
+	if len(words) != 1 || words[0] != 0b1011 {
+		t.Fatalf("Words = %v, want [11]", words)
+	}
+	// Bits above Len() must be zero so appends after LoadWords stay correct.
+	s.LoadWords([]uint64{^uint64(0)}, 3)
+	if got := s.String(); got != "111" {
+		t.Fatalf("LoadWords(all-ones, 3) = %q, want 111", got)
+	}
+	if s.Words()[0] != 0b111 {
+		t.Fatalf("tail bits not masked: %x", s.Words()[0])
+	}
+	s.AppendBit(false)
+	s.AppendBit(true)
+	if got := s.String(); got != "11101" {
+		t.Fatalf("append after LoadWords = %q, want 11101", got)
+	}
+}
+
+func TestLoadWordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		orig := New(n)
+		for i := 0; i < n; i++ {
+			orig.AppendBit(rng.Intn(2) == 1)
+		}
+		var back BitString
+		back.LoadWords(orig.Words(), orig.Len())
+		if !back.Equal(orig) {
+			t.Fatalf("trial %d: round-trip mismatch at n=%d", trial, n)
+		}
+	}
+}
+
+func TestLoadWordsReusesArena(t *testing.T) {
+	a := NewArena(4, 64)
+	src := New(0)
+	src.AppendUint(0xDEADBEEF, 48)
+	for i := 0; i < a.Len(); i++ {
+		s := a.At(i)
+		s.LoadWords(src.Words(), src.Len())
+		if !s.Equal(src) {
+			t.Fatalf("arena string %d differs after LoadWords", i)
+		}
+	}
+}
+
+func TestLoadWordsPanicsOnShortInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LoadWords with nbits > 64*len(words) did not panic")
+		}
+	}()
+	var s BitString
+	s.LoadWords([]uint64{0}, 65)
+}
+
+func TestNewRaggedArena(t *testing.T) {
+	lens := []int{0, 1, 63, 64, 65, 0, 200}
+	a := NewRaggedArena(lens)
+	if a.Len() != len(lens) {
+		t.Fatalf("Len = %d, want %d", a.Len(), len(lens))
+	}
+	// Fill every string to its capacity; in-capacity appends must land in
+	// the shared slab, and neighbours must not clobber each other.
+	for i, n := range lens {
+		s := a.At(i)
+		for b := 0; b < n; b++ {
+			s.AppendBit((b+i)%3 == 0)
+		}
+	}
+	for i, n := range lens {
+		s := a.At(i)
+		if s.Len() != n {
+			t.Fatalf("string %d: Len = %d, want %d", i, s.Len(), n)
+		}
+		for b := 0; b < n; b++ {
+			if s.Bit(b) != ((b+i)%3 == 0) {
+				t.Fatalf("string %d bit %d clobbered", i, b)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"context"
 	"fmt"
 
 	"mstadvice/internal/bitstring"
@@ -110,6 +111,21 @@ func (a *Advisor) recompute() error {
 // date. A failed batch (out-of-range edge, disconnecting deletion)
 // leaves graph and advice untouched.
 func (a *Advisor) Update(b graph.Batch) (*UpdateResult, error) {
+	return a.UpdateCtx(context.Background(), b)
+}
+
+// UpdateCtx is Update with cancellation. The context is checked before
+// the batch touches the graph and again before a full oracle recompute —
+// the only expensive stage — so a server draining its update queue on
+// shutdown stops in bounded time. A cancellation before the batch is
+// applied leaves graph and advice untouched; after the batch is applied
+// the recompute must run to completion to keep them consistent, so the
+// second check happens before ApplyBatch commits anything, by
+// classifying the batch first.
+func (a *Advisor) UpdateCtx(ctx context.Context, b graph.Batch) (*UpdateResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dynamic: update canceled: %w", err)
+	}
 	fast := len(b.Deletions) == 0 && a.g.N() > 1
 	if fast {
 		for _, wu := range b.Weights {
@@ -121,6 +137,13 @@ func (a *Advisor) Update(b graph.Batch) (*UpdateResult, error) {
 				fast = false
 				break
 			}
+		}
+	}
+	if !fast {
+		// The batch needs a full recompute; bail out while the graph is
+		// still untouched if the caller has already given up.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dynamic: update canceled before recompute: %w", err)
 		}
 	}
 	if err := a.g.ApplyBatch(b); err != nil {

@@ -1,6 +1,8 @@
 package dynamic
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"runtime"
@@ -426,5 +428,53 @@ func TestAdviceSurvivesNonTreeLinkFailures(t *testing.T) {
 		if !res.Verified {
 			t.Fatalf("%s: decode under non-tree link failures not verified: %v", famName, res.VerifyErr)
 		}
+	}
+}
+
+func TestUpdateCtxCanceled(t *testing.T) {
+	g := gen.RandomConnected(64, 192, rand.New(rand.NewSource(5)), gen.Options{Weights: gen.WeightsDistinct})
+	adv, err := NewAdvisor(g, 0, core.DefaultCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := adv.Graph().Clone()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A canceled slow-path update (deletion => full recompute) must leave
+	// graph and advice untouched.
+	var target graph.EdgeID = -1
+	for e := 0; e < adv.Graph().M(); e++ {
+		if !adv.Sensitivity().InTree[e] {
+			target = graph.EdgeID(e)
+			break
+		}
+	}
+	if target == -1 {
+		t.Skip("no non-tree edge")
+	}
+	_, err = adv.UpdateCtx(ctx, graph.Batch{Deletions: []graph.EdgeID{target}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("UpdateCtx on canceled context = %v, want context.Canceled", err)
+	}
+	if err := graph.Equal(before, adv.Graph()); err != nil {
+		t.Fatalf("canceled update mutated the graph: %v", err)
+	}
+	if adv.Stats().Batches != 0 {
+		t.Fatalf("canceled update counted a batch: %+v", adv.Stats())
+	}
+	// With a live context the same update applies normally.
+	res, err := adv.UpdateCtx(context.Background(), graph.Batch{Deletions: []graph.EdgeID{target}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incremental {
+		t.Fatal("deletion took the fast path")
+	}
+	fresh, err := core.BuildAdvice(adv.Graph(), 0, core.DefaultCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u, ok := adviceEqual(fresh, adv.Advice()); !ok {
+		t.Fatalf("advice differs from oracle at node %d after post-cancel update", u)
 	}
 }

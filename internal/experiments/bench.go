@@ -25,6 +25,10 @@ import (
 //	            GenNS/GenAllocs; WallNS/Allocs cover decompose + encode)
 //	"dynamic" — single-edge-update advice latency (Scheme names the
 //	            path: advice-full vs advice-incremental)
+//	"service" — advice-serving layer (ServiceBench): closed-loop query
+//	            throughput/latency (Scheme "advice-query", with
+//	            "advice-query-churn" overlapping a writer) and the store
+//	            codec round-trip ("store-roundtrip", Bytes = file size)
 type BenchResult struct {
 	Kind           string  `json:"kind"`
 	Scheme         string  `json:"scheme"`
@@ -46,6 +50,15 @@ type BenchResult struct {
 	// the same (kind, n); 0 on sequential rows.
 	Speedup  float64 `json:"speedup,omitempty"`
 	Verified bool    `json:"verified"`
+	// Service-layer columns (kind "service"): closed-loop queries issued,
+	// aggregate throughput, latency percentiles, allocations per query,
+	// and — for the store row — the snapshot size on disk.
+	Queries        int64   `json:"queries,omitempty"`
+	QPS            float64 `json:"qps,omitempty"`
+	P50NS          int64   `json:"p50_ns,omitempty"`
+	P99NS          int64   `json:"p99_ns,omitempty"`
+	AllocsPerQuery float64 `json:"allocs_per_query,omitempty"`
+	Bytes          int64   `json:"bytes,omitempty"`
 }
 
 // BenchKey identifies a row for baseline comparison: rows match across

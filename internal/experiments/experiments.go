@@ -38,6 +38,9 @@ type Config struct {
 	Families []string
 	// Seed feeds all generators.
 	Seed int64
+	// Queries sizes the ServiceBench closed loop; 0 means the default
+	// (see serviceBenchQueries).
+	Queries int
 }
 
 func (c Config) sizes() []int {

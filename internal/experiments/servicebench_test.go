@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestServiceBenchRows checks the load generator end to end at a small
+// size: row shape, verification flags, and that the rows survive the
+// JSON round trip and baseline comparison machinery.
+func TestServiceBenchRows(t *testing.T) {
+	c := Config{Seed: 1, Sizes: []int{2048}, Queries: 8_000}
+	rows := ServiceBench(c)
+	if len(rows) != 4 && len(rows) != 5 {
+		// store + 2-or-3 query rows (4-worker probe collapses into the
+		// full pool on 4-core machines) + churn.
+		t.Fatalf("ServiceBench returned %d rows", len(rows))
+	}
+	schemes := map[string]int{}
+	for _, r := range rows {
+		if r.Kind != "service" {
+			t.Fatalf("row kind %q, want service", r.Kind)
+		}
+		if !r.Verified {
+			t.Fatalf("row %s/workers=%d not verified", r.Scheme, r.Workers)
+		}
+		schemes[r.Scheme]++
+		switch r.Scheme {
+		case "store-roundtrip":
+			if r.Bytes <= 0 {
+				t.Fatalf("store row has no file size: %+v", r)
+			}
+		case "advice-query", "advice-query-churn":
+			if r.Queries <= 0 || r.QPS <= 0 || r.P50NS <= 0 || r.P99NS < r.P50NS {
+				t.Fatalf("query row malformed: %+v", r)
+			}
+			if r.AllocsPerQuery > 1 {
+				t.Fatalf("advice query path allocates %.2f per query: %+v", r.AllocsPerQuery, r)
+			}
+		default:
+			t.Fatalf("unexpected scheme %q", r.Scheme)
+		}
+	}
+	if schemes["store-roundtrip"] != 1 || schemes["advice-query-churn"] != 1 || schemes["advice-query"] < 2 {
+		t.Fatalf("row mix %v", schemes)
+	}
+
+	// Rows survive WriteBench/ReadBench and gate cleanly against
+	// themselves; a synthetic alloc regression trips the gate.
+	path := filepath.Join(t.TempDir(), "rows.json")
+	if err := WriteBench(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := CompareBaseline(back, rows, 2.0); len(regs) != 0 {
+		t.Fatalf("self-comparison regressed: %v", regs)
+	}
+	worse := make([]BenchResult, len(back))
+	copy(worse, back)
+	for i := range worse {
+		worse[i].Allocs = worse[i].Allocs*100 + 1_000_000
+	}
+	if regs := CompareBaseline(worse, rows, 2.0); len(regs) == 0 {
+		t.Fatal("100x alloc inflation passed the baseline gate")
+	}
+	lost := make([]BenchResult, len(back))
+	copy(lost, back)
+	lost[1].Verified = false
+	if regs := CompareBaseline(lost, rows, 2.0); len(regs) == 0 {
+		t.Fatal("lost verification passed the baseline gate")
+	}
+}

@@ -399,3 +399,61 @@ func TestCSRRepresentation(t *testing.T) {
 		}
 	}
 }
+
+func TestFromRecordsRoundTrip(t *testing.T) {
+	g := triangle(t)
+	back, err := FromRecords(g.IDs(), g.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equal(g, back); err != nil {
+		t.Fatalf("FromRecords round-trip: %v", err)
+	}
+}
+
+func TestFromRecordsAfterDeletion(t *testing.T) {
+	// Deletions swap-remove ports, so the surviving records no longer have
+	// insertion-order ports; FromRecords must still reproduce them exactly.
+	g := NewBuilder(4).
+		AddEdge(0, 1, 1).
+		AddEdge(1, 2, 2).
+		AddEdge(2, 3, 3).
+		AddEdge(3, 0, 4).
+		AddEdge(0, 2, 5).
+		MustBuild()
+	if err := g.ApplyBatch(Batch{Deletions: []EdgeID{0}}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromRecords(g.IDs(), g.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equal(g, back); err != nil {
+		t.Fatalf("FromRecords after deletion: %v", err)
+	}
+}
+
+func TestFromRecordsRejectsMalformed(t *testing.T) {
+	g := triangle(t)
+	ids := g.IDs()
+	cases := map[string][]Edge{
+		"endpoint out of range": {{U: 0, V: 9, PU: 0, PV: 0, W: 1}},
+		"self-loop":             {{U: 1, V: 1, PU: 0, PV: 1, W: 1}},
+		"port out of range":     {{U: 0, V: 1, PU: 5, PV: 0, W: 1}},
+		"port collision": {
+			{U: 0, V: 1, PU: 0, PV: 0, W: 1},
+			{U: 0, V: 2, PU: 0, PV: 0, W: 2},
+		},
+		"weight mismatch reaches Validate": {
+			{U: 0, V: 1, PU: 0, PV: 0, W: 5},
+			{U: 1, V: 2, PU: 1, PV: 0, W: 3},
+			{U: 0, V: 2, PU: 1, PV: 0, W: 5},
+			{U: 0, V: 1, PU: 2, PV: 2, W: 7}, // duplicate edge
+		},
+	}
+	for name, edges := range cases {
+		if _, err := FromRecords(ids, edges); err == nil {
+			t.Errorf("%s: FromRecords accepted malformed records", name)
+		}
+	}
+}

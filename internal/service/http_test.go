@@ -1,0 +1,177 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"mstadvice/internal/store"
+)
+
+// doJSON issues one request against the test server and decodes the
+// reply into out (when non-nil), returning the status code.
+func doJSON(t *testing.T, srv *httptest.Server, method, path string, body any, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, srv.URL+path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding reply: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	snap := makeSnapshot(t, 64, 192, 9)
+	path := filepath.Join(t.TempDir(), "g.mstadv")
+	if err := store.Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	svc := New()
+	srv := httptest.NewServer(NewHandler(svc, true))
+	defer srv.Close()
+
+	if code := doJSON(t, srv, "GET", "/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+
+	// Register from the stored file.
+	var info Info
+	code := doJSON(t, srv, "POST", "/v1/graphs", map[string]any{"id": "g", "path": path}, &info)
+	if code != http.StatusCreated || info.N != 64 || info.Epoch != 0 {
+		t.Fatalf("register = %d, %+v", code, info)
+	}
+	// Duplicate is a conflict.
+	if code := doJSON(t, srv, "POST", "/v1/graphs", map[string]any{"id": "g", "path": path}, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate register = %d, want 409", code)
+	}
+	// Register a generated instance.
+	if code := doJSON(t, srv, "POST", "/v1/graphs",
+		map[string]any{"id": "gen", "family": "grid", "n": 16, "seed": 3}, &info); code != http.StatusCreated {
+		t.Fatalf("generate register = %d", code)
+	}
+
+	var infos []Info
+	if code := doJSON(t, srv, "GET", "/v1/graphs", nil, &infos); code != http.StatusOK || len(infos) != 2 {
+		t.Fatalf("list = %d with %d entries, want 2", code, len(infos))
+	}
+
+	// Advice: every node's bits match the snapshot.
+	for u := 0; u < snap.Graph.N(); u++ {
+		var reply AdviceReply
+		code := doJSON(t, srv, "GET", fmt.Sprintf("/v1/graphs/g/advice?node=%d", u), nil, &reply)
+		if code != http.StatusOK || reply.Bits != snap.Advice[u].String() {
+			t.Fatalf("advice of node %d = %d, %+v", u, code, reply)
+		}
+	}
+	// Bad node and unknown graph.
+	if code := doJSON(t, srv, "GET", "/v1/graphs/g/advice?node=zzz", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad node = %d, want 400", code)
+	}
+	if code := doJSON(t, srv, "GET", "/v1/graphs/g/advice?node=100000", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range node = %d, want 400", code)
+	}
+	if code := doJSON(t, srv, "GET", "/v1/graphs/nope/advice?node=0", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown graph = %d, want 404", code)
+	}
+
+	// Decode + verify.
+	var sess Session
+	if code := doJSON(t, srv, "GET", "/v1/graphs/g/decode", nil, &sess); code != http.StatusOK || !sess.Verified {
+		t.Fatalf("decode = %d, %+v", code, sess)
+	}
+	var verdict struct {
+		Verified bool `json:"verified"`
+	}
+	if code := doJSON(t, srv, "GET", "/v1/graphs/g/verify", nil, &verdict); code != http.StatusOK || !verdict.Verified {
+		t.Fatalf("verify = %d, %+v", code, verdict)
+	}
+
+	// Update: perturb edge 0's weight upward (any outcome path is fine;
+	// the epoch must advance and the new epoch must verify).
+	var up UpdateReply
+	w := snap.Graph.Weight(0)
+	code = doJSON(t, srv, "POST", "/v1/graphs/g/update",
+		map[string]any{"weights": []map[string]any{{"edge": 0, "w": int(w) + 1}}}, &up)
+	if code != http.StatusOK || up.Epoch != 1 {
+		t.Fatalf("update = %d, %+v", code, up)
+	}
+	if code := doJSON(t, srv, "GET", "/v1/graphs/g/verify", nil, &verdict); code != http.StatusOK || !verdict.Verified {
+		t.Fatalf("verify after update = %d, %+v", code, verdict)
+	}
+
+	// Malformed update bodies are 400s, not crashes.
+	if code := doJSON(t, srv, "POST", "/v1/graphs/g/update", "not an object", nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed update = %d, want 400", code)
+	}
+	// An invalid batch (edge out of range) reports the service error.
+	if code := doJSON(t, srv, "POST", "/v1/graphs/g/update",
+		map[string]any{"deletions": []int{99999}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad batch = %d, want 400", code)
+	}
+
+	// Stats and drop.
+	var st Stats
+	if code := doJSON(t, srv, "GET", "/v1/stats", nil, &st); code != http.StatusOK || st.Registered != 2 || st.Updates != 1 {
+		t.Fatalf("stats = %d, %+v", code, st)
+	}
+	if code := doJSON(t, srv, "DELETE", "/v1/graphs/g", nil, nil); code != http.StatusOK {
+		t.Fatalf("drop = %d", code)
+	}
+	if code := doJSON(t, srv, "DELETE", "/v1/graphs/g", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("double drop = %d, want 404", code)
+	}
+}
+
+func TestHTTPPathRegistrationGate(t *testing.T) {
+	svc := New()
+	srv := httptest.NewServer(NewHandler(svc, false))
+	defer srv.Close()
+	code := doJSON(t, srv, "POST", "/v1/graphs", map[string]any{"id": "g", "path": "/etc/passwd"}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("path registration on a gated server = %d, want 400", code)
+	}
+	// Family registration still works.
+	if code := doJSON(t, srv, "POST", "/v1/graphs",
+		map[string]any{"id": "g", "family": "ring", "n": 8}, nil); code != http.StatusCreated {
+		t.Fatalf("family registration = %d, want 201", code)
+	}
+}
+
+func TestHTTPRegisterValidation(t *testing.T) {
+	svc := New()
+	srv := httptest.NewServer(NewHandler(svc, true))
+	defer srv.Close()
+	for name, body := range map[string]any{
+		"no source":    map[string]any{"id": "x"},
+		"both sources": map[string]any{"id": "x", "path": "p", "family": "ring"},
+		"bad family":   map[string]any{"id": "x", "family": "klein-bottle", "n": 8},
+		"bad weights":  map[string]any{"id": "x", "family": "ring", "n": 8, "weights": "prime"},
+		"bad root":     map[string]any{"id": "x", "family": "ring", "n": 8, "root": 99},
+		"missing file": map[string]any{"id": "x", "path": "/nonexistent.mstadv"},
+		"empty id":     map[string]any{"family": "ring", "n": 8},
+		"malformed":    "][",
+	} {
+		if code := doJSON(t, srv, "POST", "/v1/graphs", body, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: register = %d, want 400", name, code)
+		}
+	}
+}

@@ -1,0 +1,435 @@
+// Package service is the advice-serving layer: an in-memory, sharded
+// registry of stored oracle runs (internal/store snapshots) that answers
+// concurrent per-node advice queries, reconstructs and verifies full
+// rooted MSTs from the stored advice, and absorbs batched dynamic
+// updates — the paper's oracle turned into a long-lived server, which is
+// exactly the model's interaction pattern: each node asks the oracle for
+// its few bits and computes the MST locally.
+//
+// # Concurrency model
+//
+// Two independent mechanisms keep the read path wait-free against
+// writers (DESIGN.md §2.6):
+//
+//   - the registry is split into shards (graph ID → FNV-1a hash →
+//     shard); each shard guards its id → entry map with an RWMutex that
+//     is write-locked only on Register/Drop, so lookups from any number
+//     of goroutines proceed in parallel and never contend with queries
+//     on other shards;
+//   - each entry publishes its state through an atomic pointer to an
+//     immutable Epoch (graph snapshot + advice assignment + sequence
+//     number). Readers load the pointer once and work on a frozen,
+//     never-mutated epoch; writers prepare the next epoch on the side —
+//     clone the advisor's live graph, copy the advice slice — and
+//     publish it with one atomic swap (copy-on-write). A reader
+//     observing epoch k keeps a fully consistent (graph, advice) pair
+//     even while epoch k+1 is being built, and never blocks, because no
+//     lock sits anywhere on its path.
+//
+// Writers serialize per entry (entry.mu); updates to different graphs
+// run concurrently.
+//
+// The dynamic.Advisor an entry needs for updates is built lazily on the
+// first Update: registering a stored snapshot costs O(file) — the whole
+// point of the store — and read-only entries never pay the advisor's
+// initial oracle + sensitivity run.
+package service
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mstadvice/internal/advice"
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/core"
+	"mstadvice/internal/dynamic"
+	"mstadvice/internal/graph"
+	"mstadvice/internal/sim"
+	"mstadvice/internal/store"
+)
+
+// numShards is the registry fan-out. 16 shards keep shard-lock
+// contention negligible up to hundreds of concurrent clients while the
+// per-shard maps stay small enough to stay cache-resident.
+const numShards = 16
+
+// Epoch is one immutable published state of a graph: readers hold it
+// freely, nothing in it is ever mutated after publication.
+type Epoch struct {
+	// Seq increments with every published update, starting at 0 for the
+	// registered snapshot. Replies carry it so clients can correlate
+	// answers across an update.
+	Seq uint64
+	// Graph is a private snapshot; no advisor will ever patch it.
+	Graph *graph.Graph
+	// Root is the designated MST root.
+	Root graph.NodeID
+	// Advice is the per-node assignment, byte-identical to a fresh oracle
+	// run on Graph.
+	Advice []*bitstring.BitString
+
+	// decodeMu guards the lazily computed session cache: the full
+	// local-MST reconstruction is deterministic per epoch, so it runs at
+	// most once per epoch no matter how many clients ask, and a canceled
+	// run leaves the cache empty for the next caller instead of
+	// poisoning it. Advice readers never touch this lock.
+	decodeMu sync.Mutex
+	session  *Session
+}
+
+// Session is the result of replaying the distributed decoder against an
+// epoch's stored advice: the full rooted MST, without re-running the
+// oracle.
+type Session struct {
+	Seq         uint64       `json:"epoch"`
+	Root        graph.NodeID `json:"root"`
+	ParentPorts []int        `json:"parent_ports"`
+	Rounds      int          `json:"rounds"`
+	Verified    bool         `json:"verified"`
+	VerifyErr   string       `json:"verify_error,omitempty"`
+	MSTWeight   graph.Weight `json:"mst_weight"`
+}
+
+// AdviceReply answers one per-node advice query.
+type AdviceReply struct {
+	Node  int    `json:"node"`
+	Bits  string `json:"bits"` // 0/1 string, LSB of the paper's layout first
+	Len   int    `json:"len"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// Info summarises one registered graph.
+type Info struct {
+	ID        string  `json:"id"`
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	Root      int     `json:"root"`
+	Epoch     uint64  `json:"epoch"`
+	MaxBits   int     `json:"advice_max_bits"`
+	AvgBits   float64 `json:"advice_avg_bits"`
+	TotalBits int     `json:"advice_total_bits"`
+}
+
+// UpdateReply reports how a batch was absorbed.
+type UpdateReply struct {
+	Epoch       uint64 `json:"epoch"`
+	Incremental bool   `json:"incremental"`
+	Reencoded   int    `json:"nodes_reencoded"`
+}
+
+// Stats counts the service's lifetime work (atomic, read via Snapshot).
+type Stats struct {
+	Queries    uint64 `json:"queries"`
+	Decodes    uint64 `json:"decodes"`
+	Updates    uint64 `json:"updates"`
+	Registered uint64 `json:"registered"`
+}
+
+type entry struct {
+	id  string
+	cap int
+	cur atomic.Pointer[Epoch]
+
+	// mu serializes writers; readers never take it.
+	mu  sync.Mutex
+	adv *dynamic.Advisor // lazily built on first Update, guarded by mu
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// Service is the sharded advice server. The zero value is not usable;
+// call New.
+type Service struct {
+	shards [numShards]shard
+
+	queries atomic.Uint64
+	decodes atomic.Uint64
+	updates atomic.Uint64
+}
+
+// New returns an empty service.
+func New() *Service {
+	s := &Service{}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[string]*entry)
+	}
+	return s
+}
+
+func (s *Service) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &s.shards[h.Sum32()%numShards]
+}
+
+// Register publishes a snapshot under the given ID. Snapshots without a
+// stored advice assignment get one computed here (one oracle run);
+// snapshots with advice are served as stored, in O(size) — this is the
+// "load a precomputed run without re-running Borůvka" path. The snapshot
+// must not be mutated by the caller afterwards: the service takes
+// ownership.
+func (s *Service) Register(id string, snap *store.Snapshot) error {
+	if id == "" {
+		return fmt.Errorf("service: empty graph ID")
+	}
+	if snap == nil || snap.Graph == nil {
+		return fmt.Errorf("service: nil snapshot for %q", id)
+	}
+	if snap.Graph.N() == 0 {
+		return fmt.Errorf("service: empty graph for %q", id)
+	}
+	capBits := snap.Cap
+	if capBits <= 0 {
+		capBits = core.DefaultCap
+	}
+	adviceBits := snap.Advice
+	if adviceBits == nil {
+		var err error
+		adviceBits, err = core.BuildAdvice(snap.Graph, snap.Root, capBits)
+		if err != nil {
+			return fmt.Errorf("service: building advice for %q: %w", id, err)
+		}
+	}
+	if len(adviceBits) != snap.Graph.N() {
+		return fmt.Errorf("service: %q has %d advice strings for %d nodes", id, len(adviceBits), snap.Graph.N())
+	}
+	e := &entry{id: id, cap: capBits}
+	e.cur.Store(&Epoch{Graph: snap.Graph, Root: snap.Root, Advice: adviceBits})
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.entries[id]; dup {
+		return fmt.Errorf("service: graph %q already registered", id)
+	}
+	sh.entries[id] = e
+	return nil
+}
+
+// Drop removes a graph. In-flight readers holding its epoch finish
+// normally (the epoch is immutable and unreferenced afterwards).
+func (s *Service) Drop(id string) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[id]; !ok {
+		return false
+	}
+	delete(sh.entries, id)
+	return true
+}
+
+func (s *Service) lookup(id string) (*entry, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	e := sh.entries[id]
+	sh.mu.RUnlock()
+	if e == nil {
+		return nil, fmt.Errorf("service: unknown graph %q", id)
+	}
+	return e, nil
+}
+
+// Epoch returns the current published epoch of a graph. Bulk readers can
+// hold it and index Advice directly; it will never change under them.
+func (s *Service) Epoch(id string) (*Epoch, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.cur.Load(), nil
+}
+
+// Advice answers one per-node query from the current epoch. This is the
+// hot path: one shard RLock for the map lookup, one atomic pointer load,
+// one slice index — no allocation beyond the reply.
+func (s *Service) Advice(id string, node int) (AdviceReply, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return AdviceReply{}, err
+	}
+	ep := e.cur.Load()
+	if node < 0 || node >= len(ep.Advice) {
+		return AdviceReply{}, fmt.Errorf("service: node %d out of range [0,%d) in graph %q", node, len(ep.Advice), id)
+	}
+	s.queries.Add(1)
+	a := ep.Advice[node]
+	return AdviceReply{Node: node, Bits: a.String(), Len: a.Len(), Epoch: ep.Seq}, nil
+}
+
+// AdviceBits is Advice without reply marshalling, for in-process callers
+// (the load generator): it returns the raw bit string and the epoch.
+func (s *Service) AdviceBits(id string, node int) (*bitstring.BitString, uint64, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	ep := e.cur.Load()
+	if node < 0 || node >= len(ep.Advice) {
+		return nil, 0, fmt.Errorf("service: node %d out of range [0,%d) in graph %q", node, len(ep.Advice), id)
+	}
+	s.queries.Add(1)
+	return ep.Advice[node], ep.Seq, nil
+}
+
+// DecodeSession replays the distributed Theorem 3 decoder against the
+// epoch's stored advice — not a fresh oracle run — and returns the full
+// rooted MST with its verification verdict. The result is computed once
+// per epoch and cached; concurrent callers share the one run. ctx
+// cancels a run in progress at round granularity.
+func (s *Service) DecodeSession(ctx context.Context, id string) (*Session, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	ep := e.cur.Load()
+	ep.decodeMu.Lock()
+	defer ep.decodeMu.Unlock()
+	if ep.session == nil {
+		sess, err := decodeEpoch(ctx, ep)
+		if err != nil {
+			return nil, err
+		}
+		ep.session = sess
+		s.decodes.Add(1)
+	}
+	return ep.session, nil
+}
+
+// decodeEpoch runs the core scheme's decoder on the stored advice.
+func decodeEpoch(ctx context.Context, ep *Epoch) (*Session, error) {
+	nw := sim.NewNetwork(ep.Graph)
+	scheme := core.Scheme{}
+	res, err := nw.Run(scheme.NewNode, ep.Advice, sim.Options{Context: ctx})
+	if err != nil {
+		return nil, fmt.Errorf("service: decoding epoch %d: %w", ep.Seq, err)
+	}
+	sess := &Session{
+		Seq:         ep.Seq,
+		ParentPorts: res.ParentPorts,
+		Rounds:      res.Rounds,
+	}
+	verified, root, verr := advice.VerifyOutput(ep.Graph, res.ParentPorts)
+	sess.Verified = verified
+	sess.Root = root
+	if verr != nil {
+		sess.VerifyErr = verr.Error()
+	}
+	for u, p := range res.ParentPorts {
+		if p >= 0 {
+			sess.MSTWeight += ep.Graph.HalfAt(graph.NodeID(u), p).W
+		}
+	}
+	return sess, nil
+}
+
+// Verify decodes the current epoch (cached) and reports whether the
+// stored advice reconstructs the exact rooted MST.
+func (s *Service) Verify(ctx context.Context, id string) (bool, error) {
+	sess, err := s.DecodeSession(ctx, id)
+	if err != nil {
+		return false, err
+	}
+	return sess.Verified, nil
+}
+
+// Update applies one batch of weight changes and deletions and publishes
+// the next epoch. Readers keep answering from the previous epoch until
+// the single atomic swap; they never wait. Writers to the same graph
+// serialize; the first update pays the advisor construction (one oracle
+// + sensitivity run seeded from the current epoch).
+func (s *Service) Update(ctx context.Context, id string, b graph.Batch) (*UpdateReply, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.adv == nil {
+		ep := e.cur.Load()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("service: update of %q canceled: %w", id, err)
+		}
+		adv, err := dynamic.NewAdvisor(ep.Graph.Clone(), ep.Root, e.cap)
+		if err != nil {
+			return nil, fmt.Errorf("service: building advisor for %q: %w", id, err)
+		}
+		e.adv = adv
+	}
+	res, err := e.adv.UpdateCtx(ctx, b)
+	if err != nil {
+		return nil, fmt.Errorf("service: update of %q: %w", id, err)
+	}
+	prev := e.cur.Load()
+	next := &Epoch{
+		Seq:  prev.Seq + 1,
+		Root: e.adv.Root(),
+		// The advisor owns its live graph and patches it in place on the
+		// next update; published epochs need a frozen copy.
+		Graph: e.adv.Graph().Clone(),
+		// Advice strings are immutable once published (the advisor
+		// replaces, never mutates, per-node strings), so copying the
+		// slice of pointers is enough.
+		Advice: append([]*bitstring.BitString(nil), e.adv.Advice()...),
+	}
+	e.cur.Store(next)
+	s.updates.Add(1)
+	reply := &UpdateReply{Epoch: next.Seq, Incremental: res.Incremental, Reencoded: len(res.Changed)}
+	return reply, nil
+}
+
+// InfoFor summarises one graph's current epoch.
+func (s *Service) InfoFor(id string) (Info, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return Info{}, err
+	}
+	return infoOf(id, e.cur.Load()), nil
+}
+
+func infoOf(id string, ep *Epoch) Info {
+	st := advice.Measure(ep.Advice, ep.Graph.N())
+	return Info{
+		ID: id, N: ep.Graph.N(), M: ep.Graph.M(), Root: int(ep.Root), Epoch: ep.Seq,
+		MaxBits: st.MaxBits, AvgBits: st.AvgBits, TotalBits: st.TotalBits,
+	}
+}
+
+// List returns every registered graph's summary, sorted by ID.
+func (s *Service) List() []Info {
+	var out []Info
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, e := range sh.entries {
+			out = append(out, infoOf(id, e.cur.Load()))
+		}
+		sh.mu.RUnlock()
+	}
+	slices.SortFunc(out, func(a, b Info) int { return strings.Compare(a.ID, b.ID) })
+	return out
+}
+
+// StatsNow returns the lifetime counters.
+func (s *Service) StatsNow() Stats {
+	var registered uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		registered += uint64(len(sh.entries))
+		sh.mu.RUnlock()
+	}
+	return Stats{
+		Queries:    s.queries.Load(),
+		Decodes:    s.decodes.Load(),
+		Updates:    s.updates.Load(),
+		Registered: registered,
+	}
+}

@@ -20,6 +20,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -139,6 +140,12 @@ type Options struct {
 	// link failures, repairs and weight perturbations — against named
 	// edges (see Scenario). It composes with DropEvery.
 	Scenario *Scenario
+	// Context, when non-nil, cancels the run between rounds: a run whose
+	// context expires returns ctx.Err() wrapped in a descriptive error
+	// instead of finishing. The check costs one atomic load per round, so
+	// long-lived servers (cmd/mstadviced) can shed decode work on
+	// shutdown without leaking the engine's worker goroutines.
+	Context context.Context
 }
 
 // RoundStats are per-round message statistics.
@@ -533,6 +540,11 @@ func (nw *Network) Run(factory Factory, advice []*bitstring.BitString, opt Optio
 	for !allDone() {
 		if round >= maxRounds {
 			return nil, fmt.Errorf("sim: no termination after %d rounds", maxRounds)
+		}
+		if opt.Context != nil {
+			if err := opt.Context.Err(); err != nil {
+				return nil, fmt.Errorf("sim: run canceled after %d rounds: %w", round, err)
+			}
 		}
 		round++
 		e.applyEvents(round)

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+// mapFile reports "no mapping available" on platforms without mmap;
+// OpenMapped falls back to an ordinary buffered Load.
+func mapFile(path string) ([]byte, func() error, error) {
+	return nil, nil, nil
+}

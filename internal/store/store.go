@@ -1,0 +1,483 @@
+// Package store persists oracle runs: a versioned binary codec for a
+// graph.Graph together with its per-node advice assignment, so a
+// precomputed run — minutes of Borůvka decomposition and encoding at
+// n = 10⁶ — round-trips to disk and reloads in time linear in the file,
+// without re-running the oracle.
+//
+// # Format (version 1)
+//
+// All integers are unsigned LEB128 varints unless noted; "zigzag" marks
+// signed values folded into varints (encoding/binary conventions). The
+// layout is
+//
+//	magic     8 bytes "MSTADV\x00\x01" (version baked into the magic)
+//	n         node count
+//	m         edge count
+//	root      designated MST root
+//	cap       oracle packed-advice budget the advice was built with
+//	ids       n zigzag deltas id[u] − id[u−1] (id[−1] = 0)
+//	edges     m records in EdgeID order:
+//	            zigzag ΔU (U − U of previous record), V, PU, PV, W
+//	advice    1 byte flag; if 1:
+//	            maxBits, then n per-node bit lengths,
+//	            then ⌈Σlen/8⌉ payload bytes, all strings bit-packed
+//	            back to back, LSB-first within each byte
+//	crc       4 bytes little-endian IEEE CRC32 of everything above
+//
+// Edges carry explicit ports (graph.FromRecords) because a graph that has
+// lived through dynamic deletions no longer has insertion-order ports;
+// the delta on U costs one byte for almost every edge of a generator
+// family, whose records are grouped by lower endpoint. Advice strings
+// decode into one bitstring.Arena (two allocations for all n strings),
+// mirroring the oracle's own layout.
+//
+// Decode never panics on malformed input: every length is bounds-checked
+// against the buffer and against sanity limits derived from the header,
+// and the CRC footer rejects truncation and bit rot up front (fuzzed in
+// fuzz_test.go).
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/graph"
+)
+
+// magic identifies the format and its version. Bumping the version means
+// changing the last byte, so older readers fail with "unsupported
+// version" instead of misparsing.
+var magic = [8]byte{'M', 'S', 'T', 'A', 'D', 'V', 0, 1}
+
+// Snapshot is one stored oracle run: the graph, the designated root, the
+// oracle budget, and (optionally) the per-node advice assignment.
+type Snapshot struct {
+	Graph *graph.Graph
+	Root  graph.NodeID
+	// Cap is the packed-advice budget (core.DefaultCap for the paper's
+	// scheme) the advice was built with; consumers need it to rebuild a
+	// dynamic advisor that reproduces the stored bits.
+	Cap int
+	// Advice is the per-node assignment, nil when the snapshot stores a
+	// bare graph.
+	Advice []*bitstring.BitString
+}
+
+// maxReasonable bounds per-item counts decoded from headers before any
+// allocation is sized from them, so a corrupt header cannot request a
+// multi-gigabyte slice. 1<<28 nodes/edges is far beyond the repository's
+// n = 10⁶ operating point while still letting the codec scale.
+const maxReasonable = 1 << 28
+
+// Encode serialises the snapshot.
+func Encode(s *Snapshot) ([]byte, error) {
+	if s == nil || s.Graph == nil {
+		return nil, fmt.Errorf("store: nil snapshot")
+	}
+	g := s.Graph
+	n, m := g.N(), g.M()
+	if s.Advice != nil && len(s.Advice) != n {
+		return nil, fmt.Errorf("store: %d advice strings for %d nodes", len(s.Advice), n)
+	}
+	if s.Root < 0 || (n > 0 && int(s.Root) >= n) {
+		return nil, fmt.Errorf("store: root %d out of range [0,%d)", s.Root, n)
+	}
+	if s.Cap < 0 {
+		return nil, fmt.Errorf("store: negative cap %d", s.Cap)
+	}
+	// Size estimate: header + ids + 5 varints per edge + advice payload.
+	buf := make([]byte, 0, 64+10*n+25*m)
+	buf = append(buf, magic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	buf = binary.AppendUvarint(buf, uint64(m))
+	buf = binary.AppendUvarint(buf, uint64(s.Root))
+	buf = binary.AppendUvarint(buf, uint64(s.Cap))
+	prevID := int64(0)
+	for _, id := range g.IDs() {
+		buf = binary.AppendVarint(buf, id-prevID)
+		prevID = id
+	}
+	prevU := int64(0)
+	for _, e := range g.Edges() {
+		if e.W < 0 {
+			return nil, fmt.Errorf("store: negative weight %d", e.W)
+		}
+		buf = binary.AppendVarint(buf, int64(e.U)-prevU)
+		prevU = int64(e.U)
+		buf = binary.AppendUvarint(buf, uint64(e.V))
+		buf = binary.AppendUvarint(buf, uint64(e.PU))
+		buf = binary.AppendUvarint(buf, uint64(e.PV))
+		buf = binary.AppendUvarint(buf, uint64(e.W))
+	}
+	if s.Advice == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		maxBits, total := 0, 0
+		for _, a := range s.Advice {
+			bits := a.Len()
+			total += bits
+			if bits > maxBits {
+				maxBits = bits
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(maxBits))
+		for _, a := range s.Advice {
+			buf = binary.AppendUvarint(buf, uint64(a.Len()))
+		}
+		buf = appendPacked(buf, s.Advice, total)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	return append(buf, crc[:]...), nil
+}
+
+// appendPacked streams all advice strings back to back into a bit-packed
+// byte payload, reading each string a word at a time.
+func appendPacked(buf []byte, advice []*bitstring.BitString, total int) []byte {
+	payload := make([]byte, (total+7)/8)
+	pos := 0 // bit position in payload
+	for _, a := range advice {
+		bits := a.Len()
+		words := a.Words()
+		for i := 0; i < bits; {
+			w := words[i/64]
+			take := 64 - i%64
+			if take > bits-i {
+				take = bits - i
+			}
+			// Deposit `take` bits of w (starting at bit i%64) at pos.
+			chunk := w >> (uint(i) % 64)
+			if take < 64 {
+				chunk &= 1<<uint(take) - 1
+			}
+			for b := 0; b < take; b += 8 {
+				byteBits := take - b
+				if byteBits > 8 {
+					byteBits = 8
+				}
+				p := pos + b
+				payload[p/8] |= byte(chunk>>uint(b)) << (uint(p) % 8)
+				if p%8+byteBits > 8 && p/8+1 < len(payload) {
+					payload[p/8+1] |= byte(chunk >> uint(b) >> (8 - uint(p)%8))
+				}
+			}
+			pos += take
+			i += take
+		}
+	}
+	return append(buf, payload...)
+}
+
+// decoder is a bounds-checked cursor over an encoded snapshot.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	v, k := binary.Uvarint(d.buf[d.pos:])
+	if k <= 0 {
+		return 0, fmt.Errorf("store: truncated or malformed %s at offset %d", what, d.pos)
+	}
+	// Reject padded (non-minimal) varints so every value has exactly one
+	// encoding — the property that lets the fuzz test assert accepted
+	// inputs are re-encoding fixed points.
+	if k > 1 && d.buf[d.pos+k-1] == 0 {
+		return 0, fmt.Errorf("store: non-minimal varint %s at offset %d", what, d.pos)
+	}
+	d.pos += k
+	return v, nil
+}
+
+func (d *decoder) varint(what string) (int64, error) {
+	u, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil // zigzag, as binary.Varint
+}
+
+func (d *decoder) count(what string) (int, error) {
+	v, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > maxReasonable {
+		return 0, fmt.Errorf("store: %s %d exceeds the sanity limit", what, v)
+	}
+	return int(v), nil
+}
+
+// Decode parses an encoded snapshot. It validates the magic, the CRC
+// footer, and every structural invariant of the graph (via
+// graph.FromRecords' Validate pass), and is safe on arbitrary input.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic)+4 {
+		return nil, fmt.Errorf("store: %d bytes is too short for a snapshot", len(data))
+	}
+	if string(data[:6]) != string(magic[:6]) {
+		return nil, fmt.Errorf("store: bad magic %q", data[:6])
+	}
+	if data[6] != magic[6] || data[7] != magic[7] {
+		return nil, fmt.Errorf("store: unsupported format version %d.%d", data[6], data[7])
+	}
+	body, foot := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(foot); got != want {
+		return nil, fmt.Errorf("store: CRC mismatch: file says %08x, content hashes to %08x (truncated or corrupt)", want, got)
+	}
+	d := &decoder{buf: body, pos: len(magic)}
+	n, err := d.count("node count")
+	if err != nil {
+		return nil, err
+	}
+	m, err := d.count("edge count")
+	if err != nil {
+		return nil, err
+	}
+	root, err := d.uvarint("root")
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 && root >= uint64(n) {
+		return nil, fmt.Errorf("store: root %d out of range [0,%d)", root, n)
+	}
+	capBits, err := d.count("cap")
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, n)
+	prevID := int64(0)
+	for u := range ids {
+		delta, err := d.varint("node ID delta")
+		if err != nil {
+			return nil, err
+		}
+		prevID += delta
+		ids[u] = prevID
+	}
+	edges := make([]graph.Edge, m)
+	prevU := int64(0)
+	for ei := range edges {
+		dU, err := d.varint("edge endpoint delta")
+		if err != nil {
+			return nil, err
+		}
+		prevU += dU
+		if prevU < 0 || prevU >= int64(n) {
+			return nil, fmt.Errorf("store: edge %d endpoint %d out of range [0,%d)", ei, prevU, n)
+		}
+		v, err := d.uvarint("edge endpoint")
+		if err != nil {
+			return nil, err
+		}
+		if v >= uint64(n) {
+			return nil, fmt.Errorf("store: edge %d endpoint %d out of range [0,%d)", ei, v, n)
+		}
+		pu, err := d.count("edge port")
+		if err != nil {
+			return nil, err
+		}
+		pv, err := d.count("edge port")
+		if err != nil {
+			return nil, err
+		}
+		w, err := d.uvarint("edge weight")
+		if err != nil {
+			return nil, err
+		}
+		if w > math.MaxInt64 {
+			return nil, fmt.Errorf("store: edge %d weight %d overflows", ei, w)
+		}
+		edges[ei] = graph.Edge{
+			U: graph.NodeID(prevU), V: graph.NodeID(v),
+			PU: pu, PV: pv, W: graph.Weight(w),
+		}
+	}
+	g, err := graph.FromRecords(ids, edges)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{Graph: g, Root: graph.NodeID(root), Cap: capBits}
+	if d.pos >= len(d.buf) {
+		return nil, fmt.Errorf("store: truncated before the advice flag")
+	}
+	flag := d.buf[d.pos]
+	d.pos++
+	switch flag {
+	case 0:
+	case 1:
+		if snap.Advice, err = d.decodeAdvice(n); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("store: bad advice flag %d", flag)
+	}
+	if d.pos != len(d.buf) {
+		return nil, fmt.Errorf("store: %d trailing bytes after the snapshot", len(d.buf)-d.pos)
+	}
+	return snap, nil
+}
+
+// decodeAdvice parses the advice section into a single arena. The
+// declared maximum must equal the actual maximum length — that keeps
+// the encoding canonical (Encode writes max(lengths), so any other
+// value cannot re-encode to the same bytes) and refuses the padded
+// headers a hostile file could otherwise use — and the arena is sized
+// from the per-node lengths alone (NewRaggedArena), so the allocation
+// is bounded by a constant factor of the input that declared it.
+func (d *decoder) decodeAdvice(n int) ([]*bitstring.BitString, error) {
+	maxBits, err := d.count("max advice bits")
+	if err != nil {
+		return nil, err
+	}
+	lengths := make([]int, n)
+	total, actualMax := 0, 0
+	for u := range lengths {
+		bits, err := d.count("advice length")
+		if err != nil {
+			return nil, err
+		}
+		if bits > maxBits {
+			return nil, fmt.Errorf("store: node %d advice of %d bits exceeds declared maximum %d", u, bits, maxBits)
+		}
+		if bits > actualMax {
+			actualMax = bits
+		}
+		lengths[u] = bits
+		total += bits
+	}
+	if maxBits != actualMax {
+		return nil, fmt.Errorf("store: declared maximum advice size %d, actual maximum %d (non-canonical header)", maxBits, actualMax)
+	}
+	payload := d.buf[d.pos:]
+	if need := (total + 7) / 8; len(payload) < need {
+		return nil, fmt.Errorf("store: advice payload truncated: have %d bytes, need %d", len(payload), need)
+	} else {
+		payload = payload[:need]
+		d.pos += need
+	}
+	arena := bitstring.NewRaggedArena(lengths)
+	advice := make([]*bitstring.BitString, n)
+	pos := 0 // bit position in payload
+	var scratch [16]uint64
+	for u, bits := range lengths {
+		words := scratch[:0]
+		for got := 0; got < bits; got += 64 {
+			words = append(words, readWord(payload, pos+got, bits-got))
+		}
+		s := arena.At(u)
+		s.LoadWords(words, bits)
+		advice[u] = s
+		pos += bits
+	}
+	return advice, nil
+}
+
+// readWord extracts up to 64 bits (LSB-first) starting at bit position
+// pos of the packed payload.
+func readWord(payload []byte, pos, bits int) uint64 {
+	if bits > 64 {
+		bits = 64
+	}
+	var w uint64
+	for b := 0; b < bits; b += 8 {
+		p := pos + b
+		chunk := uint64(payload[p/8]) >> (uint(p) % 8)
+		if p%8 != 0 && p/8+1 < len(payload) {
+			chunk |= uint64(payload[p/8+1]) << (8 - uint(p)%8)
+		}
+		w |= chunk << uint(b)
+	}
+	if bits < 64 {
+		w &= 1<<uint(bits) - 1
+	}
+	return w
+}
+
+// Save writes the snapshot to path (atomically: a temp file in the same
+// directory, fsynced before a rename over the target, so a crash never
+// leaves a torn snapshot behind — without the sync, a journaled rename
+// can land before the data blocks and survive a power loss as an empty
+// file under the final name).
+func Save(path string, s *Snapshot) error {
+	blob, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	dir := dirOf(path)
+	tmp, err := os.CreateTemp(dir, ".mstadv-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Persist the rename itself; best effort — some filesystems refuse
+	// directory fsync, and the data is already safe on disk.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// Load reads and decodes the snapshot at path.
+func Load(path string) (*Snapshot, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := Decode(blob)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// OpenMapped decodes the snapshot at path through a read-only memory
+// mapping instead of a heap copy of the file, so loading a multi-hundred-
+// megabyte n = 10⁶ snapshot touches the page cache once and never holds
+// file bytes and decoded graph in memory twice. The decoded snapshot owns
+// all its storage; the mapping is released before returning. On platforms
+// without mmap it falls back to Load.
+func OpenMapped(path string) (*Snapshot, error) {
+	data, unmap, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if unmap == nil {
+		return Load(path) // platform fallback
+	}
+	defer unmap()
+	snap, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return snap, nil
+}

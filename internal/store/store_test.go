@@ -1,0 +1,257 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/core"
+	"mstadvice/internal/graph"
+	"mstadvice/internal/graph/gen"
+)
+
+// buildSnapshot generates one family instance and its Theorem 3 advice.
+func buildSnapshot(t *testing.T, fam gen.Family, n int, seed int64, weights gen.WeightMode) *Snapshot {
+	t.Helper()
+	g, err := fam.Generate(n, rand.New(rand.NewSource(seed)), gen.Options{Weights: weights})
+	if err != nil {
+		t.Fatalf("%s: %v", fam.Name, err)
+	}
+	advice, err := core.BuildAdvice(g, 0, core.DefaultCap)
+	if err != nil {
+		t.Fatalf("%s: oracle: %v", fam.Name, err)
+	}
+	return &Snapshot{Graph: g, Root: 0, Cap: core.DefaultCap, Advice: advice}
+}
+
+func assertSnapshotsEqual(t *testing.T, name string, want, got *Snapshot) {
+	t.Helper()
+	if err := graph.Equal(want.Graph, got.Graph); err != nil {
+		t.Fatalf("%s: graph differs after round-trip: %v", name, err)
+	}
+	if got.Root != want.Root || got.Cap != want.Cap {
+		t.Fatalf("%s: metadata differs: root %d/%d cap %d/%d", name, got.Root, want.Root, got.Cap, want.Cap)
+	}
+	if (want.Advice == nil) != (got.Advice == nil) {
+		t.Fatalf("%s: advice presence differs", name)
+	}
+	for u := range want.Advice {
+		if !want.Advice[u].Equal(got.Advice[u]) {
+			t.Fatalf("%s: advice of node %d differs: %s vs %s",
+				name, u, want.Advice[u], got.Advice[u])
+		}
+	}
+}
+
+// TestGoldenRoundTripAllFamilies is the codec's golden test: for every
+// registered generator family, graph + advice survive Save/Load
+// bit-identically (graph.Equal checks IDs, edge records, ports, weights
+// and cross-port tables; advice is compared string by string).
+func TestGoldenRoundTripAllFamilies(t *testing.T) {
+	dir := t.TempDir()
+	for _, fam := range gen.Families() {
+		for _, weights := range []gen.WeightMode{gen.WeightsDistinct, gen.WeightsRandom, gen.WeightsUnit} {
+			snap := buildSnapshot(t, fam, 64, 7, weights)
+			path := filepath.Join(dir, fam.Name+"-"+weights.String()+".mstadv")
+			if err := Save(path, snap); err != nil {
+				t.Fatalf("%s: save: %v", fam.Name, err)
+			}
+			back, err := Load(path)
+			if err != nil {
+				t.Fatalf("%s: load: %v", fam.Name, err)
+			}
+			assertSnapshotsEqual(t, fam.Name+"/"+weights.String(), snap, back)
+		}
+	}
+}
+
+func TestRoundTripAfterDeletions(t *testing.T) {
+	// Deletions renumber ports and edge IDs; the codec must reproduce the
+	// post-deletion layout, not the insertion order.
+	g := gen.RandomConnected(128, 384, rand.New(rand.NewSource(3)), gen.Options{})
+	for e := g.M() - 1; e >= 0 && g.M() > 200; e-- {
+		_ = g.DeleteEdge(graph.EdgeID(e)) // bridges legitimately refuse
+	}
+	snap := &Snapshot{Graph: g, Root: 5, Cap: core.DefaultCap}
+	blob, err := Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotsEqual(t, "after-deletions", snap, back)
+}
+
+func TestRoundTripBareGraphAndRaggedAdvice(t *testing.T) {
+	g := gen.Path(9, rand.New(rand.NewSource(1)), gen.Options{})
+	// Bare graph (no advice section).
+	blob, err := Encode(&Snapshot{Graph: g, Root: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Advice != nil {
+		t.Fatal("bare snapshot came back with advice")
+	}
+	// Ragged advice, including empty strings and >64-bit strings, to cross
+	// every word-boundary case of the bit packer.
+	rng := rand.New(rand.NewSource(2))
+	advice := make([]*bitstring.BitString, g.N())
+	for u := range advice {
+		bits := rng.Intn(200)
+		if u%3 == 0 {
+			bits = 0
+		}
+		s := bitstring.New(bits)
+		for i := 0; i < bits; i++ {
+			s.AppendBit(rng.Intn(2) == 1)
+		}
+		advice[u] = s
+	}
+	snap := &Snapshot{Graph: g, Root: 0, Cap: 11, Advice: advice}
+	blob, err = Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err = Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotsEqual(t, "ragged", snap, back)
+}
+
+func TestOpenMapped(t *testing.T) {
+	snap := buildSnapshot(t, mustFamily(t, "random"), 256, 11, gen.WeightsDistinct)
+	path := filepath.Join(t.TempDir(), "snap.mstadv")
+	if err := Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotsEqual(t, "mapped", snap, back)
+}
+
+func mustFamily(t *testing.T, name string) gen.Family {
+	t.Helper()
+	fam, err := gen.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fam
+}
+
+// TestDecodeRejectsTruncation chops a valid snapshot at every length and
+// requires a clean error (no panic, no false accept) — truncation below
+// the CRC footer must always be caught.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	snap := buildSnapshot(t, mustFamily(t, "grid"), 25, 5, gen.WeightsDistinct)
+	blob, err := Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := Decode(blob[:cut]); err == nil {
+			t.Fatalf("Decode accepted a snapshot truncated to %d of %d bytes", cut, len(blob))
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption flips one bit in every byte position and
+// requires Decode to fail (the CRC catches every single-bit flip).
+func TestDecodeRejectsCorruption(t *testing.T) {
+	snap := buildSnapshot(t, mustFamily(t, "ring"), 16, 9, gen.WeightsUnit)
+	blob, err := Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blob {
+		corrupt := append([]byte(nil), blob...)
+		corrupt[i] ^= 1 << uint(i%8)
+		if _, err := Decode(corrupt); err == nil {
+			t.Fatalf("Decode accepted a snapshot with byte %d corrupted", i)
+		}
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	// Save must not leave temp files behind and must replace the target.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.mstadv")
+	snap := buildSnapshot(t, mustFamily(t, "star"), 8, 1, gen.WeightsDistinct)
+	for i := 0; i < 2; i++ {
+		if err := Save(path, snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "x.mstadv" {
+		t.Fatalf("directory not clean after Save: %v", entries)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+	if _, err := OpenMapped(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("OpenMapped of a missing file succeeded")
+	}
+}
+
+// TestDecodeRejectsInflatedMaxBits pins the fix for the header
+// amplification attack: a CRC-valid snapshot declaring a huge maximum
+// advice size over tiny actual lengths must be rejected for
+// non-canonicality before any allocation is sized from the declared
+// value (the arena is sized from the per-node lengths, and the declared
+// maximum must equal the actual maximum).
+func TestDecodeRejectsInflatedMaxBits(t *testing.T) {
+	mk := func(maxBits uint64) []byte {
+		blob := append([]byte(nil), magic[:]...)
+		blob = binary.AppendUvarint(blob, 2) // n
+		blob = binary.AppendUvarint(blob, 1) // m
+		blob = binary.AppendUvarint(blob, 0) // root
+		blob = binary.AppendUvarint(blob, 0) // cap
+		blob = binary.AppendVarint(blob, 1)  // id[0]
+		blob = binary.AppendVarint(blob, 1)  // id[1]
+		blob = binary.AppendVarint(blob, 0)  // edge 0: ΔU
+		blob = binary.AppendUvarint(blob, 1) // V
+		blob = binary.AppendUvarint(blob, 0) // PU
+		blob = binary.AppendUvarint(blob, 0) // PV
+		blob = binary.AppendUvarint(blob, 7) // W
+		blob = append(blob, 1)               // advice flag
+		blob = binary.AppendUvarint(blob, maxBits)
+		blob = binary.AppendUvarint(blob, 0) // len[0]
+		blob = binary.AppendUvarint(blob, 0) // len[1]
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(blob))
+		return append(blob, crc[:]...)
+	}
+	if _, err := Decode(mk(1 << 40)); err == nil {
+		t.Fatal("Decode accepted a 2^40-bit declared advice maximum over all-empty strings")
+	}
+	if _, err := Decode(mk(1)); err == nil {
+		t.Fatal("Decode accepted declared maximum 1 over all-empty strings (non-canonical)")
+	}
+	// The canonical header (declared == actual == 0) decodes fine.
+	snap, err := Decode(mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Advice) != 2 || snap.Advice[0].Len() != 0 {
+		t.Fatalf("canonical all-empty advice decoded wrong: %+v", snap.Advice)
+	}
+}

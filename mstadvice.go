@@ -19,7 +19,11 @@
 //     (Batch, Graph.ApplyBatch), the MST sensitivity oracle
 //     (AnalyzeSensitivity), incremental advice maintenance
 //     (NewDynamicAdvisor) and deterministic fault scenarios for the
-//     simulator (Scenario, NonTreeLinkFailures).
+//     simulator (Scenario, NonTreeLinkFailures);
+//   - the store and serving layer: persisted oracle runs
+//     (Snapshot, SaveSnapshot, LoadSnapshot, OpenSnapshot) and the
+//     sharded concurrent advice server (AdviceService, NewAdviceService)
+//     behind the mstadviced daemon.
 //
 // See README.md for a tour, DESIGN.md for the architecture and
 // EXPERIMENTS.md for the paper-versus-measured record.
@@ -40,7 +44,9 @@ import (
 	"mstadvice/internal/schemes/oneround"
 	"mstadvice/internal/schemes/pipeline"
 	"mstadvice/internal/schemes/trivial"
+	"mstadvice/internal/service"
 	"mstadvice/internal/sim"
+	"mstadvice/internal/store"
 	"mstadvice/internal/verifylabel"
 )
 
@@ -238,6 +244,36 @@ func NewDynamicAdvisor(g *Graph, root NodeID) (*DynamicAdvisor, error) {
 func NonTreeLinkFailures(s *Sensitivity, k, round int) *Scenario {
 	return dynamic.NonTreeLinkFailures(s, k, round)
 }
+
+// Store and serving-layer re-exports (internal/store, internal/service;
+// see DESIGN.md §2.6). A Snapshot persists an oracle run — graph, root
+// and per-node advice — in the versioned binary format served by the
+// mstadviced daemon; an AdviceService answers concurrent per-node advice
+// queries from registered snapshots and absorbs batched updates behind
+// copy-on-write epochs.
+type (
+	// Snapshot is one stored oracle run.
+	Snapshot = store.Snapshot
+	// AdviceService is the sharded in-memory advice server.
+	AdviceService = service.Service
+	// AdviceEpoch is one immutable published state of a served graph.
+	AdviceEpoch = service.Epoch
+)
+
+// SaveSnapshot writes a snapshot to path (atomic rename).
+func SaveSnapshot(path string, s *Snapshot) error { return store.Save(path, s) }
+
+// LoadSnapshot reads and decodes the snapshot at path.
+func LoadSnapshot(path string) (*Snapshot, error) { return store.Load(path) }
+
+// OpenSnapshot decodes the snapshot at path through a read-only memory
+// mapping where the platform supports one (falling back to LoadSnapshot).
+func OpenSnapshot(path string) (*Snapshot, error) { return store.OpenMapped(path) }
+
+// NewAdviceService returns an empty advice server; register snapshots
+// with its Register method and serve it with service.NewHandler (or the
+// mstadviced daemon).
+func NewAdviceService() *AdviceService { return service.New() }
 
 // TreeLabel is a proof-labeling certificate (root identifier, depth) for
 // one node of a claimed rooted spanning tree.
