@@ -1,0 +1,199 @@
+// Command doclint enforces the documentation layer that maps the paper
+// onto the code (DESIGN.md §2, README.md "Paper → code map"):
+//
+//   - every package under internal/ must carry a package comment that
+//     cites its DESIGN.md section (the string "DESIGN.md §"), so a
+//     reader can always get from a package to the architecture notes
+//     that explain it;
+//   - every "DESIGN.md §x.y" reference appearing in a Go comment
+//     anywhere in the repository must resolve to a real section heading
+//     of DESIGN.md, so the anchors never rot as the document evolves.
+//
+// CI runs it as a build step:
+//
+//	go run ./cmd/doclint
+//
+// Exit status is non-zero with one line per violation.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// headingRe matches DESIGN.md section headings carrying a § anchor,
+// e.g. "## §1 Model" or "### §2.7 Asynchronous execution".
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+§([0-9]+(?:\.[0-9]+)?)\b`)
+
+// refRe matches section references in Go comments, e.g. "DESIGN.md §2.3"
+// (an optional "DESIGN.md §2.x" form is treated as a reference to §2).
+var refRe = regexp.MustCompile(`DESIGN\.md\s+§([0-9]+(?:\.[0-9]+)?)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+
+	anchors, err := designAnchors(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(2)
+	}
+
+	pkgDirs, goFiles, err := collectGo(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Rule 1: every internal package documents its DESIGN.md anchor.
+	for _, dir := range pkgDirs {
+		rel, _ := filepath.Rel(root, dir)
+		if !strings.HasPrefix(rel, "internal"+string(filepath.Separator)) && rel != "internal" {
+			continue
+		}
+		doc, err := packageDoc(dir)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", rel, err))
+			continue
+		}
+		// Comments wrap freely, so normalize runs of whitespace before
+		// looking for the citation.
+		flat := strings.Join(strings.Fields(doc), " ")
+		switch {
+		case doc == "":
+			problems = append(problems, fmt.Sprintf("%s: package has no package comment (add one citing its DESIGN.md § section)", rel))
+		case !strings.Contains(flat, "DESIGN.md §"):
+			problems = append(problems, fmt.Sprintf("%s: package comment does not cite a DESIGN.md § section", rel))
+		}
+	}
+
+	// Rule 2: every DESIGN.md § reference in any Go comment resolves.
+	for _, file := range goFiles {
+		rel, _ := filepath.Rel(root, file)
+		refs, err := commentRefs(file)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", rel, err))
+			continue
+		}
+		for _, ref := range refs {
+			if !anchors[ref] {
+				problems = append(problems, fmt.Sprintf("%s: comment references DESIGN.md §%s, which is not a DESIGN.md heading", rel, ref))
+			}
+		}
+	}
+
+	sort.Strings(problems)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "doclint: "+p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("doclint: %d packages documented, %d § anchors, all references resolve\n", len(pkgDirs), len(anchors))
+}
+
+// designAnchors parses DESIGN.md's § headings.
+func designAnchors(path string) (map[string]bool, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := map[string]bool{}
+	for _, m := range headingRe.FindAllStringSubmatch(string(blob), -1) {
+		anchors[m[1]] = true
+	}
+	if len(anchors) == 0 {
+		return nil, fmt.Errorf("%s: no § headings found", path)
+	}
+	return anchors, nil
+}
+
+// collectGo walks the repository and returns every directory holding
+// non-test Go files (candidate packages) and every Go file (for the
+// reference scan), skipping vendored/hidden directories.
+func collectGo(root string) (dirs []string, files []string, err error) {
+	dirSet := map[string]bool{}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		files = append(files, path)
+		if !strings.HasSuffix(name, "_test.go") {
+			dirSet[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for dir := range dirSet {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	sort.Strings(files)
+	return dirs, files, nil
+}
+
+// packageDoc returns the package comment of the package in dir: the doc
+// comment attached to any non-test file's package clause.
+func packageDoc(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	fset := token.NewFileSet()
+	var doc strings.Builder
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return "", err
+		}
+		if f.Doc != nil {
+			doc.WriteString(f.Doc.Text())
+		}
+	}
+	return doc.String(), nil
+}
+
+// commentRefs extracts every DESIGN.md § reference from the file's
+// comments (all comments, including test files).
+func commentRefs(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var refs []string
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			for _, m := range refRe.FindAllStringSubmatch(c.Text, -1) {
+				refs = append(refs, m[1])
+			}
+		}
+	}
+	return refs, nil
+}

@@ -12,13 +12,17 @@
 //	experiments -bench-service BENCH_service.json
 //	                                  # advice-serving layer: store round-trip,
 //	                                  # closed-loop query QPS/latency, churn
+//	experiments -bench-async BENCH_async.json
+//	                                  # asynchronous mode: rounds vs virtual
+//	                                  # time, synchronizer overhead, parity
 //	experiments -bench-oracle /tmp/now.json -sizes 10000 \
 //	            -bench-baseline BENCH_oracle.json
 //	                                  # CI smoke: fail on >2x regression
 //
-// With -bench-sim / -bench-oracle / -bench-service the command skips the
-// tables, runs the corresponding benchmark (see internal/experiments:
-// SimBench, OracleBench, ServiceBench) and writes the rows as JSON. Running it with the
+// With -bench-sim / -bench-oracle / -bench-service / -bench-async the
+// command skips the tables, runs the corresponding benchmark (see
+// internal/experiments: SimBench, OracleBench, ServiceBench, AsyncBench)
+// and writes the rows as JSON. Running it with the
 // committed file names regenerates the in-tree perf trajectory;
 // -bench-baseline additionally compares the fresh rows against a
 // committed baseline and exits non-zero on any wall-time or allocation
@@ -44,6 +48,7 @@ func main() {
 		benchSim       = flag.String("bench-sim", "", "run the engine benchmark and write JSON to this file instead of tables")
 		benchOracle    = flag.String("bench-oracle", "", "run the oracle-pipeline benchmark and write JSON to this file instead of tables")
 		benchService   = flag.String("bench-service", "", "run the advice-serving-layer benchmark and write JSON to this file instead of tables")
+		benchAsync     = flag.String("bench-async", "", "run the asynchronous-mode benchmark and write JSON to this file instead of tables")
 		serviceQueries = flag.Int("service-queries", 0, "closed-loop query count per -bench-service row (0 = default)")
 		benchBase      = flag.String("bench-baseline", "", "compare benchmark rows against this committed baseline JSON and fail on regression")
 		benchFactor    = flag.Float64("bench-max-factor", 2.0, "regression threshold for -bench-baseline (ratio to baseline)")
@@ -68,10 +73,10 @@ func main() {
 	}
 
 	cfg.Queries = *serviceQueries
-	if *benchBase != "" && *benchSim == "" && *benchOracle == "" && *benchService == "" {
-		fail("-bench-baseline needs -bench-sim, -bench-oracle and/or -bench-service to produce rows to compare")
+	if *benchBase != "" && *benchSim == "" && *benchOracle == "" && *benchService == "" && *benchAsync == "" {
+		fail("-bench-baseline needs -bench-sim, -bench-oracle, -bench-service and/or -bench-async to produce rows to compare")
 	}
-	if *benchSim != "" || *benchOracle != "" || *benchService != "" {
+	if *benchSim != "" || *benchOracle != "" || *benchService != "" || *benchAsync != "" {
 		// Read the baseline before any bench writes its rows: the output
 		// path may BE the committed baseline (one step regenerates the
 		// artifact and gates it against the committed state in a single
@@ -106,6 +111,14 @@ func main() {
 				fail("%v", err)
 			}
 			fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), *benchService)
+			all = append(all, rows...)
+		}
+		if *benchAsync != "" {
+			rows := experiments.AsyncBench(cfg)
+			if err := experiments.WriteBench(*benchAsync, rows); err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), *benchAsync)
 			all = append(all, rows...)
 		}
 		if *benchBase != "" {

@@ -8,7 +8,15 @@
 //	mstadvice -faults 8 -family expander -n 128      # fail 8 non-tree links mid-run
 //	mstadvice -save run.mstadv -family random -n 100000   # persist graph + advice
 //	mstadvice -load run.mstadv                       # rerun on the stored instance
+//	mstadvice -async -family random -n 256           # asynchronous execution
+//	mstadvice -async -sched lifo -lat 1:32 -n 256    # adversarial delivery
 //	mstadvice -list
+//
+// -async replays the scheme's unmodified decoder on the event-driven
+// asynchronous engine under the α-synchronizer (DESIGN.md §2.7): -lat
+// min:max sets the seeded uniform latency range, -lat-seed its seed, and
+// -sched picks the delivery policy (fifo | lifo | maxdelay). The report
+// then includes virtual time and the synchronizer's message overhead.
 //
 // -save writes the generated graph together with the core oracle's
 // advice as an internal/store snapshot, the file format served by the
@@ -48,6 +56,10 @@ func main() {
 		faults      = flag.Int("faults", 0, "fail this many non-tree links from round 2 onward (scenario fault injection)")
 		savePath    = flag.String("save", "", "save the graph and its core-oracle advice to this store snapshot file")
 		loadPath    = flag.String("load", "", "load the graph (and root) from a store snapshot instead of generating one")
+		async       = flag.Bool("async", false, "run on the asynchronous event-driven engine (α-synchronizer)")
+		schedName   = flag.String("sched", "fifo", "asynchronous delivery policy: fifo | lifo | maxdelay")
+		latRange    = flag.String("lat", "1:8", "asynchronous per-message latency range min:max (uniform, seeded)")
+		latSeed     = flag.Int64("lat-seed", 1, "asynchronous latency seed")
 	)
 	flag.Parse()
 
@@ -134,6 +146,27 @@ func main() {
 	}
 
 	var opt mstadvice.RunOptions
+	if *async {
+		if *faults > 0 {
+			fail("-async and -faults are incompatible: scenario faults are round-indexed")
+		}
+		var latMin, latMax int64
+		if _, err := fmt.Sscanf(*latRange, "%d:%d", &latMin, &latMax); err != nil || latMin < 1 || latMax < latMin {
+			fail("bad -lat %q (want min:max with 1 <= min <= max)", *latRange)
+		}
+		opt.Async = true
+		opt.Latency = mstadvice.UniformLatency{Seed: *latSeed, Min: latMin, Max: latMax}
+		switch *schedName {
+		case "fifo":
+			opt.Scheduler = mstadvice.SchedulerFIFO()
+		case "lifo":
+			opt.Scheduler = mstadvice.SchedulerLIFO()
+		case "maxdelay":
+			opt.Scheduler = mstadvice.SchedulerMaxDelay(latMax)
+		default:
+			fail("unknown -sched %q (fifo | lifo | maxdelay)", *schedName)
+		}
+	}
 	if *faults > 0 {
 		sens, err := dynamic.Analyze(g)
 		if err != nil {
@@ -176,11 +209,18 @@ func main() {
 	fmt.Printf("advice        max %d bits, avg %.2f bits, total %d bits\n",
 		res.Advice.MaxBits, res.Advice.AvgBits, res.Advice.TotalBits)
 	fmt.Printf("rounds        %d\n", res.Rounds)
-	if res.Pulses > 0 {
+	if res.Pulses > 0 && !*async {
 		fmt.Printf("pulses        %d (idealized synchronizer barriers)\n", res.Pulses)
 	}
 	fmt.Printf("messages      %d (total %d bits, largest %d bits)\n",
 		res.Messages, res.MsgBits, res.MaxMsgBits)
+	if *async {
+		fmt.Printf("async         %s scheduler, latency %s (seed %d)\n", *schedName, *latRange, *latSeed)
+		fmt.Printf("virtual time  %d ticks over %d delivery steps, %d simulated rounds\n",
+			res.VirtualTime, res.Steps, res.Pulses)
+		fmt.Printf("synchronizer  %d control messages, %d overhead bits (%.1fx the payload count)\n",
+			res.SyncMessages, res.SyncBits, float64(res.SyncMessages)/float64(max(res.Messages, 1)))
+	}
 	if *faults > 0 {
 		fmt.Printf("faults        %d links down from round 2: %d messages lost, %d undelivered\n",
 			len(opt.Scenario.Events), res.LinkDropped, res.Undelivered)

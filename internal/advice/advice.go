@@ -6,6 +6,9 @@
 // against the unique reference MST and reports the (m, t) profile —
 // maximum/average advice size and round count — together with message
 // statistics.
+//
+// See DESIGN.md §2.2 for the scheme framework and DESIGN.md §2.7 for
+// the asynchronous execution path.
 package advice
 
 import (
@@ -16,6 +19,7 @@ import (
 	"mstadvice/internal/graph"
 	"mstadvice/internal/mst"
 	"mstadvice/internal/sim"
+	"mstadvice/internal/synch"
 )
 
 // Scheme is an (m, t)-advising scheme: a centralized oracle plus a
@@ -66,6 +70,15 @@ type Result struct {
 	Messages   int64
 	MsgBits    int64
 	MaxMsgBits int
+	// Asynchronous-run accounting (sim.Options.Async; zero otherwise):
+	// the virtual time and distinct delivery times of the event-driven
+	// execution, and the α-synchronizer's separately-booked overhead.
+	// On async runs Pulses is the number of simulated rounds and equals
+	// the Rounds of the synchronous execution (DESIGN.md §2.7).
+	VirtualTime  int64
+	Steps        int
+	SyncMessages int64
+	SyncBits     int64
 	// Sent, Dropped, LinkDropped and Undelivered mirror the simulator's
 	// conserved message accounting: Sent == Messages + Dropped +
 	// LinkDropped, and Undelivered final-round messages are included in
@@ -129,6 +142,12 @@ func RunCtx(ctx context.Context, scheme Scheme, g *graph.Graph, root graph.NodeI
 	if p, ok := scheme.(PulseNeeder); ok && p.NeedsPulses() {
 		opt.EnablePulses = true
 	}
+	// Reject the pulse/async clash before the oracle runs: at large n the
+	// Advise call is the expensive half, and the incompatibility is
+	// already decidable here.
+	if opt.Async && opt.EnablePulses {
+		return nil, fmt.Errorf("advice: scheme %s is pulse-driven (quiescence synchronizer); it has no asynchronous execution", scheme.Name())
+	}
 	var assignment []*bitstring.BitString
 	var err error
 	if wa, ok := scheme.(WorkerAdviser); ok {
@@ -147,7 +166,17 @@ func RunCtx(ctx context.Context, scheme Scheme, g *graph.Graph, root graph.NodeI
 		return nil, fmt.Errorf("advice: oracle %s returned %d strings for %d nodes", scheme.Name(), len(assignment), g.N())
 	}
 	nw := sim.NewNetwork(g)
-	simRes, err := nw.Run(scheme.NewNode, assignment, opt)
+	var simRes *sim.Result
+	if opt.Async {
+		// Asynchronous mode: the unmodified synchronous decoder runs on
+		// the event-driven engine under the α-synchronizer (DESIGN.md
+		// §2.7). Pulse-driven schemes were rejected above, before the
+		// oracle ran.
+		opt.Async = false // consumed here; RunAsync takes the wrapped factory
+		simRes, err = nw.RunAsync(synch.Wrap(scheme.NewNode), assignment, opt)
+	} else {
+		simRes, err = nw.Run(scheme.NewNode, assignment, opt)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("advice: scheme %s: %w", scheme.Name(), err)
 	}
@@ -161,6 +190,10 @@ func RunCtx(ctx context.Context, scheme Scheme, g *graph.Graph, root graph.NodeI
 		Messages:          simRes.Messages,
 		MsgBits:           simRes.TotalBits,
 		MaxMsgBits:        simRes.MaxMsgBits,
+		VirtualTime:       simRes.VirtualTime,
+		Steps:             simRes.Steps,
+		SyncMessages:      simRes.SyncMessages,
+		SyncBits:          simRes.SyncBits,
 		Sent:              simRes.Sent,
 		Dropped:           simRes.Dropped,
 		LinkDropped:       simRes.LinkDropped,

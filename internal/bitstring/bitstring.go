@@ -9,6 +9,9 @@
 // bitmap self-delimiting format of the Theorem 2 scheme ("a bit-map
 // indicating the separation between the advices corresponding to different
 // phases", which doubles the advice size).
+//
+// See DESIGN.md §2.5 for the arena-backed encoding discipline the
+// oracle pipeline builds on top of this package.
 package bitstring
 
 import (

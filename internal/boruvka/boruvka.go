@@ -30,6 +30,9 @@
 // unique, so the merged result — and hence the whole Decomposition — is
 // byte-identical for any worker count (the same contract the round
 // engine in internal/sim honors).
+//
+// See DESIGN.md §2.2 for the decomposition's role in both schemes and
+// DESIGN.md §2.5 for the contracted parallel phase kernel.
 package boruvka
 
 import (

@@ -19,6 +19,8 @@
 //
 // All comparisons use the graph's intrinsic global order, so the answers
 // are exact even under weight ties.
+//
+// See DESIGN.md §2.4 for the architecture of the dynamic subsystem.
 package dynamic
 
 import (

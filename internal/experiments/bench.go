@@ -29,6 +29,10 @@ import (
 //	            throughput/latency (Scheme "advice-query", with
 //	            "advice-query-churn" overlapping a writer) and the store
 //	            codec round-trip ("store-roundtrip", Bytes = file size)
+//	"async"   — asynchronous execution mode (AsyncBench): the Theorem 3
+//	            decoder under the α-synchronizer, rounds (pulses) vs
+//	            VirtualTime, payload vs synchronizer overhead, Verified
+//	            = full parity with the synchronous reference run
 type BenchResult struct {
 	Kind           string  `json:"kind"`
 	Scheme         string  `json:"scheme"`
@@ -59,6 +63,12 @@ type BenchResult struct {
 	P99NS          int64   `json:"p99_ns,omitempty"`
 	AllocsPerQuery float64 `json:"allocs_per_query,omitempty"`
 	Bytes          int64   `json:"bytes,omitempty"`
+	// Asynchronous-mode columns (kind "async"): virtual completion time
+	// of the event-driven run and the α-synchronizer's overhead, booked
+	// separately from the payload columns (see sim.Result).
+	VirtualTime  int64 `json:"virtual_time,omitempty"`
+	SyncMessages int64 `json:"sync_messages,omitempty"`
+	SyncBits     int64 `json:"sync_bits,omitempty"`
 }
 
 // BenchKey identifies a row for baseline comparison: rows match across

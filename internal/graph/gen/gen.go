@@ -9,6 +9,9 @@
 //
 // All randomness comes from an explicit *rand.Rand; given the same seed a
 // generator reproduces the same graph bit for bit.
+//
+// See DESIGN.md §2.1 for the graph representation the generators emit
+// and DESIGN.md §3 for the experiments that sweep these families.
 package gen
 
 import (

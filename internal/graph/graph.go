@@ -14,6 +14,9 @@
 //     that endpoint); it is an intrinsic strict total order used by every
 //     MST computation for tie-breaking, which guarantees a unique MST and
 //     keeps Borůvka fragment selections acyclic even with equal weights.
+//
+// See DESIGN.md §2.1 for the CSR layout, the cross-port table and the
+// in-place update door used by the dynamic subsystem.
 package graph
 
 import (

@@ -11,6 +11,9 @@
 // Keeping this logic in one place guarantees the oracle (which uses the
 // graph methods) and the decoders (which use these helpers) agree bit for
 // bit; the package tests check the two implementations against each other.
+//
+// See DESIGN.md §1 for the two edge orders and why canonical
+// tie-breaking makes the MST unique.
 package localorder
 
 import (

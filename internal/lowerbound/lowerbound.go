@@ -22,6 +22,8 @@
 // so it answers correctly on at most 2^m of the k instances — pigeonhole
 // made executable. The package also shows the matching upper bound: the
 // trivial scheme's ⌈log k⌉ bits serve all k instances.
+//
+// See DESIGN.md §3 (E2) for the experiment that measures the bound.
 package lowerbound
 
 import (

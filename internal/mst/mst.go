@@ -3,6 +3,9 @@
 // order, under which the MST is unique; Kruskal, Prim and Borůvka must
 // therefore return exactly the same edge set, and every distributed scheme
 // in this repository is verified against that set.
+//
+// See DESIGN.md §1 for the intrinsic global order and DESIGN.md §2.2
+// for the verification step every scheme run ends with.
 package mst
 
 import (

@@ -5,6 +5,9 @@
 // per-worker accumulators at the barrier), so results are byte-identical
 // for any worker count — the same contract the round engine in
 // internal/sim honors.
+//
+// See DESIGN.md §2.5 for the oracle pipeline's parallel sections and
+// their byte-identical-for-any-worker-count contract.
 package par
 
 import (

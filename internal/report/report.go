@@ -1,6 +1,8 @@
 // Package report renders the experiment tables and series as aligned
 // monospaced text, the common output format of cmd/experiments, the root
 // benchmarks and EXPERIMENTS.md.
+//
+// See DESIGN.md §3 for the experiment catalog these tables render.
 package report
 
 import (

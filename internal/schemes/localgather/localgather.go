@@ -9,6 +9,9 @@
 // rounds, but its messages carry entire subgraphs: it is the textbook
 // example of trading bandwidth for time, and experiment E8 contrasts its
 // message sizes against the CONGEST-friendly advice schemes.
+//
+// See DESIGN.md §2.2 for the scheme framework and DESIGN.md §3 (E8)
+// for the CONGEST contrast.
 package localgather
 
 import (

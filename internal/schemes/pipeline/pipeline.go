@@ -17,6 +17,9 @@
 // forwarded stream is exactly the minimum spanning forest of the edges
 // originating in its BFS subtree, merged in nondecreasing global order,
 // so the leader collects exactly MST(G).
+//
+// See DESIGN.md §2.2 for the scheme framework and the baseline
+// bracketing of the no-advice design space.
 package pipeline
 
 import (

@@ -8,6 +8,9 @@
 // The advice width at node u is ⌈log2(deg(u)+1)⌉ bits — one value is
 // reserved to mark the root — hence at most ⌈log n⌉ + O(1) bits anywhere,
 // matching the scheme's m = ⌈log n⌉ profile.
+//
+// See DESIGN.md §2.2 for the scheme framework and DESIGN.md §3 (E1)
+// for the measured profile.
 package trivial
 
 import (

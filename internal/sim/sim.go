@@ -17,6 +17,9 @@
 // The engine accounts rounds, message counts and message sizes in bits
 // under an explicit CostModel (identifier, port and weight field widths),
 // which is how upper bounds are checked against the CONGEST regime.
+//
+// See DESIGN.md §2.3 for the engine architecture and DESIGN.md §2.7
+// for the asynchronous execution mode.
 package sim
 
 import (
@@ -146,6 +149,18 @@ type Options struct {
 	// long-lived servers (cmd/mstadviced) can shed decode work on
 	// shutdown without leaking the engine's worker goroutines.
 	Context context.Context
+	// Async selects the event-driven asynchronous engine (DESIGN.md
+	// §2.7) instead of the round engine. Network.Run rejects it — an
+	// asynchronous run needs an AsyncFactory (Network.RunAsync);
+	// advice.Run performs the wrapping through the α-synchronizer of
+	// internal/synch automatically.
+	Async bool
+	// Latency draws per-message delivery delays in asynchronous mode;
+	// nil means UniformLatency{Seed: 1} (uniform on [1, 8]).
+	Latency LatencyModel
+	// Scheduler is the adversarial delivery policy in asynchronous mode;
+	// nil means FIFO.
+	Scheduler Scheduler
 }
 
 // RoundStats are per-round message statistics.
@@ -181,8 +196,27 @@ type Result struct {
 	// Undelivered counts messages that were delivered into inbox slots in
 	// the final round but never consumed, because every node had already
 	// terminated (the computation is over, so the engine does not run
-	// another round to hand them out). They are included in Messages.
+	// another round to hand them out). They are included in Messages. In
+	// asynchronous mode these are the messages still in flight when the
+	// last node terminated; they are accounted in Messages/SyncMessages
+	// like every other send.
 	Undelivered int64
+
+	// Asynchronous-mode accounting (zero on synchronous runs; see
+	// RunAsync and DESIGN.md §2.7).
+
+	// VirtualTime is the virtual time of the last processed delivery.
+	VirtualTime int64
+	// Steps is the number of distinct virtual times at which deliveries
+	// were processed.
+	Steps int
+	// SyncMessages counts synchronizer control messages (acks, safety
+	// announcements); they are excluded from Messages so payload columns
+	// stay comparable with a synchronous run.
+	SyncMessages int64
+	// SyncBits totals the synchronization overhead in bits: control
+	// messages plus the pulse tags riding on payload messages.
+	SyncBits int64
 }
 
 // Network binds a graph to the simulator and carries the immutable routing
@@ -436,6 +470,9 @@ func (e *engine) stepNode(ctx *Ctx, u int) {
 func (nw *Network) Run(factory Factory, advice []*bitstring.BitString, opt Options) (*Result, error) {
 	g := nw.g
 	n := g.N()
+	if opt.Async {
+		return nil, fmt.Errorf("sim: Options.Async needs an asynchronous node (Network.RunAsync); synchronous algorithms run async through advice.Run, which wraps them in the internal/synch α-synchronizer")
+	}
 	if advice != nil && len(advice) != n {
 		return nil, fmt.Errorf("sim: %d advice strings for %d nodes", len(advice), n)
 	}

@@ -35,6 +35,9 @@
 // against the buffer and against sanity limits derived from the header,
 // and the CRC footer rejects truncation and bit rot up front (fuzzed in
 // fuzz_test.go).
+//
+// See DESIGN.md §2.6 for the snapshot format rationale and the serving
+// layer built on it.
 package store
 
 import (

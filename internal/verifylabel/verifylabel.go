@@ -24,6 +24,9 @@
 // Ω(log² n)-bit labels (Korman–Kutten); that is a different paper's
 // contribution and deliberately out of scope — the repository verifies
 // minimality centrally in package mst instead.
+//
+// See DESIGN.md §2.2 for how scheme outputs are verified against the
+// unique reference MST this certificate complements.
 package verifylabel
 
 import (

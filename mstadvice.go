@@ -23,7 +23,13 @@
 //   - the store and serving layer: persisted oracle runs
 //     (Snapshot, SaveSnapshot, LoadSnapshot, OpenSnapshot) and the
 //     sharded concurrent advice server (AdviceService, NewAdviceService)
-//     behind the mstadviced daemon.
+//     behind the mstadviced daemon;
+//   - asynchronous execution (RunOptions.Async, DESIGN.md §2.7): the
+//     unmodified decoders on an event-driven network with seeded
+//     latencies (UniformLatency) and adversarial delivery policies
+//     (SchedulerFIFO, SchedulerLIFO, SchedulerMaxDelay), synchronized
+//     by Awerbuch's α-synchronizer with its overhead accounted
+//     separately in the Result.
 //
 // See README.md for a tour, DESIGN.md for the architecture and
 // EXPERIMENTS.md for the paper-versus-measured record.
@@ -89,6 +95,34 @@ type (
 func Run(s Scheme, g *Graph, root NodeID, opt RunOptions) (*Result, error) {
 	return advice.Run(s, g, root, opt)
 }
+
+// Asynchronous-execution re-exports (internal/sim, internal/synch; see
+// DESIGN.md §2.7). Set RunOptions.Async to replay any scheme's
+// unmodified decoder on the event-driven asynchronous engine under the
+// α-synchronizer; RunOptions.Latency and RunOptions.Scheduler pick the
+// timing model and the adversarial delivery policy.
+type (
+	// AsyncLatencyModel draws seeded, worker-count-independent
+	// per-message delivery delays.
+	AsyncLatencyModel = sim.LatencyModel
+	// AsyncScheduler is an adversarial delivery policy.
+	AsyncScheduler = sim.Scheduler
+	// UniformLatency draws delays uniformly from [Min, Max], seeded.
+	UniformLatency = sim.UniformLatency
+	// UnitLatency delivers every message after exactly one tick.
+	UnitLatency = sim.UnitLatency
+)
+
+// SchedulerFIFO preserves per-link send order (the default policy).
+func SchedulerFIFO() AsyncScheduler { return sim.FIFO{} }
+
+// SchedulerLIFO is the overtaking adversary: new traffic on a busy link
+// jumps the queue.
+func SchedulerLIFO() AsyncScheduler { return sim.LIFO{} }
+
+// SchedulerMaxDelay delays every message by exactly d ticks (the
+// slowest-link adversary).
+func SchedulerMaxDelay(d int64) AsyncScheduler { return sim.MaxDelay{Delay: d} }
 
 // Trivial returns the (⌈log n⌉, 0)-advising scheme.
 func Trivial() Scheme { return trivial.Scheme{} }
