@@ -7,7 +7,13 @@
 //     that explain it;
 //   - every "DESIGN.md §x.y" reference appearing in a Go comment
 //     anywhere in the repository must resolve to a real section heading
-//     of DESIGN.md, so the anchors never rot as the document evolves.
+//     of DESIGN.md, so the anchors never rot as the document evolves;
+//   - every internal package that registers an advice problem
+//     (problem.Register / problem.MustRegister, DESIGN.md §2.8) must be
+//     pinned in README's paper → code map: a map row naming the package
+//     path and at least one test function that actually exists in that
+//     package, so no problem joins the registry without a documented,
+//     named pinning test.
 //
 // CI runs it as a build step:
 //
@@ -18,6 +24,7 @@ package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -92,6 +99,33 @@ func main() {
 		}
 	}
 
+	// Rule 3: every internal package registering an advice problem is
+	// pinned in README's paper → code map by a test that exists.
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(2)
+	}
+	registrants := 0
+	for _, dir := range pkgDirs {
+		rel, _ := filepath.Rel(root, dir)
+		if !strings.HasPrefix(rel, "internal"+string(filepath.Separator)) {
+			continue
+		}
+		registers, err := registersProblem(dir)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", rel, err))
+			continue
+		}
+		if !registers {
+			continue
+		}
+		registrants++
+		if msg := pinnedInReadme(string(readme), filepath.ToSlash(rel), dir); msg != "" {
+			problems = append(problems, fmt.Sprintf("%s: %s", rel, msg))
+		}
+	}
+
 	sort.Strings(problems)
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, "doclint: "+p)
@@ -100,7 +134,101 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
 		os.Exit(1)
 	}
-	fmt.Printf("doclint: %d packages documented, %d § anchors, all references resolve\n", len(pkgDirs), len(anchors))
+	fmt.Printf("doclint: %d packages documented, %d § anchors, %d problem registrant(s) pinned, all references resolve\n",
+		len(pkgDirs), len(anchors), registrants)
+}
+
+// registersProblem reports whether any non-test file in dir calls
+// problem.Register or problem.MustRegister — the package adds an advice
+// problem to the registry.
+func registersProblem(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			return false, err
+		}
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if ok && pkg.Name == "problem" && (sel.Sel.Name == "Register" || sel.Sel.Name == "MustRegister") {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// pinnedInReadme checks that README's paper → code map has a row naming
+// both the registering package's path and a test function that exists in
+// that package; it returns a description of what is missing, or "".
+func pinnedInReadme(readme, relSlash, dir string) string {
+	tests, err := testFuncs(dir)
+	if err != nil {
+		return err.Error()
+	}
+	sawRow := false
+	for _, line := range strings.Split(readme, "\n") {
+		if !strings.HasPrefix(line, "|") || !strings.Contains(line, relSlash) {
+			continue
+		}
+		sawRow = true
+		for _, t := range tests {
+			if strings.Contains(line, "`"+t+"`") {
+				return ""
+			}
+		}
+	}
+	if !sawRow {
+		return "registers an advice problem but README's paper → code map has no row naming the package"
+	}
+	return "README map row names the package but no test function that exists in it (pin the registration with a real TestXxx)"
+}
+
+// testFuncs returns the Test* function names declared in dir's test
+// files.
+func testFuncs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var tests []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && strings.HasPrefix(fd.Name.Name, "Test") {
+				tests = append(tests, fd.Name.Name)
+			}
+		}
+	}
+	return tests, nil
 }
 
 // designAnchors parses DESIGN.md's § headings.

@@ -1,5 +1,5 @@
 // Command experiments regenerates the reproduction's tables and figures
-// (E1..E11, see DESIGN.md §3 and EXPERIMENTS.md):
+// (E1..E12, see DESIGN.md §3 and EXPERIMENTS.md):
 //
 //	experiments                       # run everything at the default sizes
 //	experiments -e e4,e5              # only the main theorem and the separation
@@ -15,13 +15,18 @@
 //	experiments -bench-async BENCH_async.json
 //	                                  # asynchronous mode: rounds vs virtual
 //	                                  # time, synchronizer overhead, parity
+//	experiments -bench-topo BENCH_topo.json
+//	                                  # topology-recognition problem: family
+//	                                  # sweep with async parity, radius sweep
 //	experiments -bench-oracle /tmp/now.json -sizes 10000 \
 //	            -bench-baseline BENCH_oracle.json
 //	                                  # CI smoke: fail on >2x regression
 //
-// With -bench-sim / -bench-oracle / -bench-service / -bench-async the
+// With -bench-sim / -bench-oracle / -bench-service / -bench-async /
+// -bench-topo the
 // command skips the tables, runs the corresponding benchmark (see
-// internal/experiments: SimBench, OracleBench, ServiceBench, AsyncBench)
+// internal/experiments: SimBench, OracleBench, ServiceBench, AsyncBench,
+// TopoBench)
 // and writes the rows as JSON. Running it with the
 // committed file names regenerates the in-tree perf trajectory;
 // -bench-baseline additionally compares the fresh rows against a
@@ -41,7 +46,7 @@ import (
 
 func main() {
 	var (
-		which          = flag.String("e", "all", "comma-separated experiment ids (e1..e11) or 'all'")
+		which          = flag.String("e", "all", "comma-separated experiment ids (e1..e12) or 'all'")
 		sizes          = flag.String("sizes", "", "comma-separated n sweep (default 16,64,256,1024)")
 		families       = flag.String("families", "", "comma-separated families (default path,grid,random,expander)")
 		seed           = flag.Int64("seed", 1, "generator seed")
@@ -49,6 +54,7 @@ func main() {
 		benchOracle    = flag.String("bench-oracle", "", "run the oracle-pipeline benchmark and write JSON to this file instead of tables")
 		benchService   = flag.String("bench-service", "", "run the advice-serving-layer benchmark and write JSON to this file instead of tables")
 		benchAsync     = flag.String("bench-async", "", "run the asynchronous-mode benchmark and write JSON to this file instead of tables")
+		benchTopo      = flag.String("bench-topo", "", "run the topology-recognition benchmark and write JSON to this file instead of tables")
 		serviceQueries = flag.Int("service-queries", 0, "closed-loop query count per -bench-service row (0 = default)")
 		benchBase      = flag.String("bench-baseline", "", "compare benchmark rows against this committed baseline JSON and fail on regression")
 		benchFactor    = flag.Float64("bench-max-factor", 2.0, "regression threshold for -bench-baseline (ratio to baseline)")
@@ -73,10 +79,10 @@ func main() {
 	}
 
 	cfg.Queries = *serviceQueries
-	if *benchBase != "" && *benchSim == "" && *benchOracle == "" && *benchService == "" && *benchAsync == "" {
-		fail("-bench-baseline needs -bench-sim, -bench-oracle, -bench-service and/or -bench-async to produce rows to compare")
+	if *benchBase != "" && *benchSim == "" && *benchOracle == "" && *benchService == "" && *benchAsync == "" && *benchTopo == "" {
+		fail("-bench-baseline needs -bench-sim, -bench-oracle, -bench-service, -bench-async and/or -bench-topo to produce rows to compare")
 	}
-	if *benchSim != "" || *benchOracle != "" || *benchService != "" || *benchAsync != "" {
+	if *benchSim != "" || *benchOracle != "" || *benchService != "" || *benchAsync != "" || *benchTopo != "" {
 		// Read the baseline before any bench writes its rows: the output
 		// path may BE the committed baseline (one step regenerates the
 		// artifact and gates it against the committed state in a single
@@ -119,6 +125,14 @@ func main() {
 				fail("%v", err)
 			}
 			fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), *benchAsync)
+			all = append(all, rows...)
+		}
+		if *benchTopo != "" {
+			rows := experiments.TopoBench(cfg)
+			if err := experiments.WriteBench(*benchTopo, rows); err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), *benchTopo)
 			all = append(all, rows...)
 		}
 		if *benchBase != "" {

@@ -4,6 +4,8 @@
 //	mstadvice -scheme core -family grid -n 256 -seed 7
 //	mstadvice -scheme noadvice -family path -n 512
 //	mstadvice -all -family lollipop -n 128
+//	mstadvice -problem topo -family ring -n 256      # topology recognition
+//	mstadvice -scheme topo-flood-r4 -family grid -n 256
 //	mstadvice -sensitivity -family random -n 256     # per-edge MST tolerances
 //	mstadvice -faults 8 -family expander -n 128      # fail 8 non-tree links mid-run
 //	mstadvice -save run.mstadv -family random -n 100000   # persist graph + advice
@@ -38,13 +40,15 @@ import (
 	"mstadvice/internal/dynamic"
 	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
+	"mstadvice/internal/problem"
 	"mstadvice/internal/report"
 	"mstadvice/internal/store"
 )
 
 func main() {
 	var (
-		schemeName  = flag.String("scheme", "core", "scheme: trivial | oneround | core | core-adaptive | localgather | noadvice | pipeline")
+		probName    = flag.String("problem", "", "advice problem: mst | topo (default: the scheme's owner, or mst)")
+		schemeName  = flag.String("scheme", "", "scheme: trivial | oneround | core | core-adaptive | localgather | noadvice | pipeline | topo-flood[-rK] | topo-direct (default: the problem's canonical scheme)")
 		family      = flag.String("family", "random", "graph family (see -list)")
 		n           = flag.Int("n", 64, "approximate node count")
 		seed        = flag.Int64("seed", 1, "generator seed")
@@ -64,9 +68,12 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("schemes:")
-		for _, s := range mstadvice.Schemes() {
-			fmt.Printf("  %s\n", s.Name())
+		fmt.Println("problems and their schemes:")
+		for _, p := range mstadvice.Problems() {
+			fmt.Printf("  %s (canonical: %s)\n", p.Name(), p.Scheme().Name())
+			for _, s := range p.Schemes() {
+				fmt.Printf("    %s\n", s.Name())
+			}
 		}
 		fmt.Println("families:")
 		for _, f := range gen.Families() {
@@ -75,9 +82,33 @@ func main() {
 		return
 	}
 
-	scheme, ok := mstadvice.SchemeByName(*schemeName)
-	if !ok {
-		fail("unknown scheme %q (try -list)", *schemeName)
+	// Resolve the problem/scheme pair: an explicit -scheme names its
+	// owning problem through the registry; an explicit -problem without
+	// -scheme selects that problem's canonical scheme; bare invocations
+	// keep the historical default, the Theorem 3 MST scheme.
+	var (
+		prob   mstadvice.AdviceProblem
+		scheme mstadvice.Scheme
+	)
+	if *schemeName != "" {
+		owner, s, ok := problem.BySchemeName(*schemeName)
+		if !ok {
+			fail("unknown scheme %q (try -list)", *schemeName)
+		}
+		if *probName != "" && *probName != owner.Name() {
+			fail("scheme %q belongs to problem %q, not %q", *schemeName, owner.Name(), *probName)
+		}
+		prob, scheme = owner, s
+	} else {
+		name := *probName
+		if name == "" {
+			name = "mst"
+		}
+		var err error
+		if prob, err = mstadvice.ProblemByName(name); err != nil {
+			fail("%v (try -list)", err)
+		}
+		scheme = prob.Scheme()
 	}
 	fam, err := gen.ByName(*family)
 	if err != nil {
@@ -103,14 +134,25 @@ func main() {
 			fail("%v", err)
 		}
 		g = snap.Graph
+		// The snapshot names its problem; adopt it unless the flags
+		// explicitly asked for something else, which is a conflict.
+		if snap.Problem != prob.Name() {
+			if *schemeName != "" || *probName != "" {
+				fail("snapshot %s stores problem %q, flags selected %q", *loadPath, snap.Problem, prob.Name())
+			}
+			if prob, err = mstadvice.ProblemByName(snap.Problem); err != nil {
+				fail("snapshot %s: %v", *loadPath, err)
+			}
+			scheme = prob.Scheme()
+		}
 		rootSet := false
 		flag.Visit(func(f *flag.Flag) { rootSet = rootSet || f.Name == "root" })
 		if !rootSet {
 			*root = int(snap.Root)
 		}
 		*family = "stored"
-		fmt.Printf("loaded %s: n=%d, m=%d, root=%d, advice %s, in %v\n",
-			*loadPath, g.N(), g.M(), snap.Root, adviceNote(snap), time.Since(start).Round(time.Millisecond))
+		fmt.Printf("loaded %s: problem=%s, n=%d, m=%d, root=%d, advice %s, in %v\n",
+			*loadPath, prob.Name(), g.N(), g.M(), snap.Root, adviceNote(snap), time.Since(start).Round(time.Millisecond))
 	} else {
 		var err error
 		g, err = fam.Generate(*n, rand.New(rand.NewSource(*seed)), gen.Options{Weights: mode})
@@ -123,11 +165,15 @@ func main() {
 	}
 
 	if *savePath != "" {
-		adviceBits, err := core.BuildAdvice(g, graph.NodeID(*root), core.DefaultCap)
+		adviceBits, err := prob.Encode(g, graph.NodeID(*root), mstadvice.ProblemEncodeOptions{})
 		if err != nil {
 			fail("oracle for -save: %v", err)
 		}
-		snap := &store.Snapshot{Graph: g, Root: graph.NodeID(*root), Cap: core.DefaultCap, Advice: adviceBits}
+		capBits := 0
+		if prob.Name() == "mst" {
+			capBits = core.DefaultCap
+		}
+		snap := &store.Snapshot{Problem: prob.Name(), Graph: g, Root: graph.NodeID(*root), Cap: capBits, Advice: adviceBits}
 		start := time.Now()
 		if err := store.Save(*savePath, snap); err != nil {
 			fail("%v", err)
@@ -179,10 +225,14 @@ func main() {
 	}
 
 	if *all {
+		verCol := "exact MST"
+		if prob.Name() != "mst" {
+			verCol = "verified"
+		}
 		t := report.New(
-			fmt.Sprintf("all schemes on %s (n=%d, m=%d, weights=%s, seed=%d)", *family, g.N(), g.M(), mode, *seed),
-			"scheme", "advice max", "advice avg", "rounds", "messages", "max msg [bits]", "exact MST")
-		for _, s := range mstadvice.Schemes() {
+			fmt.Sprintf("all %s schemes on %s (n=%d, m=%d, weights=%s, seed=%d)", prob.Name(), *family, g.N(), g.M(), mode, *seed),
+			"scheme", "advice max", "advice avg", "rounds", "messages", "max msg [bits]", verCol)
+		for _, s := range prob.Schemes() {
 			res, err := mstadvice.Run(s, g, mstadvice.NodeID(*root), opt)
 			if err != nil {
 				// Under fault injection a scheme may legitimately fail;
@@ -204,6 +254,7 @@ func main() {
 		fail("%v", err)
 	}
 
+	fmt.Printf("problem       %s\n", res.Problem)
 	fmt.Printf("scheme        %s\n", res.Scheme)
 	fmt.Printf("graph         %s, n=%d, m=%d, weights=%s, seed=%d\n", *family, res.N, res.M, mode, *seed)
 	fmt.Printf("advice        max %d bits, avg %.2f bits, total %d bits\n",
@@ -225,12 +276,20 @@ func main() {
 		fmt.Printf("faults        %d links down from round 2: %d messages lost, %d undelivered\n",
 			len(opt.Scenario.Events), res.LinkDropped, res.Undelivered)
 	}
-	fmt.Printf("output root   node %d\n", res.Root)
-	if res.Verified {
-		fmt.Printf("verification  exact rooted MST: OK\n")
+	if res.Problem == "mst" {
+		fmt.Printf("output root   node %d\n", res.Root)
+		if res.Verified {
+			fmt.Printf("verification  exact rooted MST: OK\n")
+		} else {
+			fmt.Printf("verification  FAILED: %v\n", res.VerifyErr)
+			os.Exit(1)
+		}
 	} else {
-		fmt.Printf("verification  FAILED: %v\n", res.VerifyErr)
-		os.Exit(1)
+		fmt.Printf("output        %s\n", res.Output)
+		if !res.Verified {
+			fmt.Printf("verification  FAILED: %v\n", res.VerifyErr)
+			os.Exit(1)
+		}
 	}
 	if res.Scheme == "core" {
 		exact, paper := mstadvice.ConstantAdviceRounds(res.N)

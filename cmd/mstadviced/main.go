@@ -33,6 +33,7 @@ import (
 
 	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
+	"mstadvice/internal/problem"
 	"mstadvice/internal/service"
 	"mstadvice/internal/store"
 )
@@ -49,11 +50,15 @@ func main() {
 		loads      repeatable
 		graphs     repeatable
 		allowPaths = flag.Bool("allow-path-register", true, "allow POST /v1/graphs to load snapshots from server-side paths")
+		probName   = flag.String("problem", "mst", "advice problem for -graph generated instances (see internal/problem; loaded snapshots carry their own)")
 	)
 	flag.Var(&loads, "load", "register a stored snapshot: id=path (repeatable)")
 	flag.Var(&graphs, "graph", "register a generated instance: id=family:n[:seed] (repeatable)")
 	flag.Parse()
 
+	if _, err := problem.ByName(*probName); err != nil {
+		fail("%v", err)
+	}
 	svc := service.New()
 	for _, spec := range loads {
 		id, path, ok := strings.Cut(spec, "=")
@@ -68,10 +73,10 @@ func main() {
 		if err := svc.Register(id, snap); err != nil {
 			fail("%v", err)
 		}
-		fmt.Printf("loaded %s: n=%d m=%d in %v\n", id, snap.Graph.N(), snap.Graph.M(), time.Since(start).Round(time.Millisecond))
+		fmt.Printf("loaded %s: problem=%s n=%d m=%d in %v\n", id, snap.Problem, snap.Graph.N(), snap.Graph.M(), time.Since(start).Round(time.Millisecond))
 	}
 	for _, spec := range graphs {
-		id, snap, err := generateSpec(spec)
+		id, snap, err := generateSpec(spec, *probName)
 		if err != nil {
 			fail("%v", err)
 		}
@@ -121,8 +126,8 @@ func main() {
 }
 
 // generateSpec parses id=family:n[:seed] and builds the instance; the
-// oracle runs at Register time.
-func generateSpec(spec string) (string, *store.Snapshot, error) {
+// selected problem's oracle runs at Register time.
+func generateSpec(spec, probName string) (string, *store.Snapshot, error) {
 	id, rest, ok := strings.Cut(spec, "=")
 	if !ok || id == "" {
 		return "", nil, fmt.Errorf("bad -graph %q (want id=family:n[:seed])", spec)
@@ -149,7 +154,7 @@ func generateSpec(spec string) (string, *store.Snapshot, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	return id, &store.Snapshot{Graph: g, Root: graph.NodeID(0)}, nil
+	return id, &store.Snapshot{Problem: probName, Graph: g, Root: graph.NodeID(0)}, nil
 }
 
 func fail(format string, args ...interface{}) {

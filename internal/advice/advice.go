@@ -1,11 +1,17 @@
 // Package advice defines the advising-scheme framework of Fraigniaud,
 // Korman and Lebhar (SPAA 2007) and the harness that runs a scheme end to
 // end: an oracle inspects the whole weighted network and assigns each node
-// a bit string; a distributed decoder then computes a rooted MST using
-// only local inputs and the advice, and the harness verifies the output
-// against the unique reference MST and reports the (m, t) profile —
-// maximum/average advice size and round count — together with message
-// statistics.
+// a bit string; a distributed decoder then spends the bits using only
+// local inputs, and the harness verifies the output and reports the
+// (m, t) profile — maximum/average advice size and round count — together
+// with message statistics.
+//
+// The framework is problem-agnostic (internal/problem, DESIGN.md §2.8):
+// the scheme's name resolves, through the problem registry, to the
+// advice problem that interprets and verifies the raw per-node outputs —
+// MST parent ports for the paper's schemes, class tags for topology
+// recognition. Schemes not claimed by any registered problem verify as
+// MST, the platform's first and default problem.
 //
 // See DESIGN.md §2.2 for the scheme framework and DESIGN.md §2.7 for
 // the asynchronous execution path.
@@ -18,21 +24,27 @@ import (
 	"mstadvice/internal/bitstring"
 	"mstadvice/internal/graph"
 	"mstadvice/internal/mst"
+	"mstadvice/internal/problem"
 	"mstadvice/internal/sim"
 	"mstadvice/internal/synch"
 )
 
 // Scheme is an (m, t)-advising scheme: a centralized oracle plus a
-// distributed decoder.
-type Scheme interface {
-	// Name identifies the scheme in reports.
-	Name() string
-	// Advise computes the per-node advice for computing the MST of g
-	// rooted at root. Implementations may return nil for "no advice".
-	Advise(g *graph.Graph, root graph.NodeID) ([]*bitstring.BitString, error)
-	// NewNode builds the decoder instance for one node from its local view.
-	NewNode(view *sim.NodeView) sim.Node
-}
+// distributed decoder. It is an alias of problem.Scheme — schemes are
+// defined once, on the platform, and the historical advice.Scheme name
+// keeps working.
+type Scheme = problem.Scheme
+
+// PulseNeeder is implemented by schemes whose decoders are self-timed and
+// require the simulator's quiescence synchronizer; Run enables it for
+// them automatically.
+type PulseNeeder = problem.PulseNeeder
+
+// WorkerAdviser is implemented by schemes whose oracles can run on a
+// worker pool with byte-identical output; Run forwards
+// sim.Options.Workers to them so one knob sizes both halves of the
+// pipeline.
+type WorkerAdviser = problem.WorkerAdviser
 
 // Stats summarise an advice assignment.
 type Stats struct {
@@ -61,7 +73,10 @@ func Measure(assignment []*bitstring.BitString, n int) Stats {
 // Result is the outcome of running a scheme on one instance.
 type Result struct {
 	Scheme string
-	N, M   int
+	// Problem names the advice problem that verified the run ("mst" for
+	// the paper's schemes).
+	Problem string
+	N, M    int
 
 	Advice Stats
 
@@ -94,29 +109,20 @@ type Result struct {
 	// sim.Options.RecordRoundStats is set.
 	PerRound []sim.RoundStats
 
-	// Root is the node that output "root" (-1 parent port).
+	// Root is the node that output "root" (-1 parent port) on MST runs;
+	// -1 on other problems.
 	Root graph.NodeID
-	// ParentPorts is the raw distributed output.
+	// ParentPorts is the raw distributed output, one int per node. For
+	// the MST problem these are parent ports; other problems assign
+	// their own meaning (topology recognition: the class tag).
 	ParentPorts []int
-	// Verified is true iff the output is exactly the unique rooted MST.
+	// Output is the problem-typed interpretation of ParentPorts.
+	Output problem.Output
+	// Verified is true iff the problem's verifier accepted the output
+	// (for MST: it is exactly the unique rooted MST).
 	Verified bool
 	// VerifyErr explains a verification failure.
 	VerifyErr error
-}
-
-// PulseNeeder is implemented by schemes whose decoders are self-timed and
-// require the simulator's quiescence synchronizer; Run enables it for
-// them automatically.
-type PulseNeeder interface {
-	NeedsPulses() bool
-}
-
-// WorkerAdviser is implemented by schemes whose oracles can run on a
-// worker pool with byte-identical output; Run forwards
-// sim.Options.Workers to them so one knob sizes both halves of the
-// pipeline.
-type WorkerAdviser interface {
-	AdviseWorkers(g *graph.Graph, root graph.NodeID, workers int) ([]*bitstring.BitString, error)
 }
 
 // Run executes scheme end to end on g with the designated root and
@@ -127,14 +133,54 @@ func Run(scheme Scheme, g *graph.Graph, root graph.NodeID, opt sim.Options) (*Re
 	return RunCtx(context.Background(), scheme, g, root, opt)
 }
 
+// verifier is the resolved (problem name, output judge) pair of a run.
+type verifier struct {
+	name   string
+	verify func(g *graph.Graph, root graph.NodeID, outputs []int) problem.Output
+}
+
+// forScheme resolves the problem that owns the scheme through the
+// registry, defaulting to MST verification for schemes no registered
+// problem claims (custom test schemes, and binaries that never linked a
+// problem package — the pre-platform behaviour).
+func forScheme(scheme Scheme) verifier {
+	if p, _, ok := problem.BySchemeName(scheme.Name()); ok {
+		return verifier{name: p.Name(), verify: p.VerifyOutput}
+	}
+	return verifier{name: "mst", verify: func(g *graph.Graph, _ graph.NodeID, outputs []int) problem.Output {
+		out := mstOutput{}
+		out.verified, out.root, out.err = VerifyOutput(g, outputs)
+		return out
+	}}
+}
+
+// mstOutput is the fallback MST verdict for unregistered schemes.
+type mstOutput struct {
+	root     graph.NodeID
+	verified bool
+	err      error
+}
+
+func (mstOutput) Problem() string         { return "mst" }
+func (o mstOutput) OK() bool              { return o.verified }
+func (o mstOutput) Err() error            { return o.err }
+func (o mstOutput) MSTRoot() graph.NodeID { return o.root }
+func (o mstOutput) String() string {
+	if !o.verified {
+		return fmt.Sprintf("mst: not verified: %v", o.err)
+	}
+	return fmt.Sprintf("mst: rooted at %d", o.root)
+}
+
 // RunCtx is Run with cancellation: the context is checked before the
 // oracle runs and once per simulated round (via sim.Options.Context), so
 // a long-lived server can abandon an in-flight run on shutdown instead
 // of leaking the engine until it terminates on its own. A canceled run
 // returns the context's error, wrapped.
 func RunCtx(ctx context.Context, scheme Scheme, g *graph.Graph, root graph.NodeID, opt sim.Options) (*Result, error) {
+	prob := forScheme(scheme)
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("advice: run of %s canceled before the oracle: %w", scheme.Name(), err)
+		return nil, fmt.Errorf("advice: problem %s: run of scheme %s canceled before the oracle: %w", prob.name, scheme.Name(), err)
 	}
 	if opt.Context == nil && ctx != context.Background() {
 		opt.Context = ctx
@@ -146,7 +192,7 @@ func RunCtx(ctx context.Context, scheme Scheme, g *graph.Graph, root graph.NodeI
 	// Advise call is the expensive half, and the incompatibility is
 	// already decidable here.
 	if opt.Async && opt.EnablePulses {
-		return nil, fmt.Errorf("advice: scheme %s is pulse-driven (quiescence synchronizer); it has no asynchronous execution", scheme.Name())
+		return nil, fmt.Errorf("advice: problem %s: scheme %s is pulse-driven (quiescence synchronizer); it has no asynchronous execution", prob.name, scheme.Name())
 	}
 	var assignment []*bitstring.BitString
 	var err error
@@ -182,6 +228,7 @@ func RunCtx(ctx context.Context, scheme Scheme, g *graph.Graph, root graph.NodeI
 	}
 	res := &Result{
 		Scheme:            scheme.Name(),
+		Problem:           prob.name,
 		N:                 g.N(),
 		M:                 g.M(),
 		Advice:            Measure(assignment, g.N()),
@@ -203,12 +250,20 @@ func RunCtx(ctx context.Context, scheme Scheme, g *graph.Graph, root graph.NodeI
 		ParentPorts:       simRes.ParentPorts,
 		Root:              -1,
 	}
-	res.Verified, res.Root, res.VerifyErr = VerifyOutput(g, simRes.ParentPorts)
+	out := prob.verify(g, root, simRes.ParentPorts)
+	res.Output = out
+	res.Verified = out.OK()
+	res.VerifyErr = out.Err()
+	if ro, ok := out.(interface{ MSTRoot() graph.NodeID }); ok {
+		res.Root = ro.MSTRoot()
+	}
 	return res, nil
 }
 
 // VerifyOutput checks that parent ports encode the unique rooted MST of g
-// with exactly one root, returning the root found.
+// with exactly one root, returning the root found. It is the MST
+// problem's verifier; the registered problem (internal/problem/mstp)
+// delegates here.
 func VerifyOutput(g *graph.Graph, parentPorts []int) (bool, graph.NodeID, error) {
 	root := graph.NodeID(-1)
 	for u, p := range parentPorts {

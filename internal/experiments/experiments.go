@@ -111,12 +111,13 @@ func Registry() map[string]func(Config) []*report.Table {
 		"e9":  E9PhaseDynamics,
 		"e10": E10RoundProfile,
 		"e11": E11Churn,
+		"e12": E12Topology,
 	}
 }
 
 // IDs returns the experiment identifiers in order.
 func IDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
 }
 
 func mustRun(s advice.Scheme, g *graph.Graph, root graph.NodeID, opt sim.Options) *advice.Result {

@@ -1,0 +1,126 @@
+// Package mstp registers minimum-spanning-tree computation — the problem
+// of Fraigniaud, Korman and Lebhar (SPAA 2007) — as the first instance of
+// the advice-problem platform (internal/problem): the canonical oracle is
+// the Theorem 3 pipeline (core.BuildAdvice), the scheme set is the five
+// advising schemes plus the pulse-driven variant, and the verifier checks
+// the per-node parent ports against the unique rooted reference MST.
+//
+// The verifier delegates to advice.VerifyOutput — the harness and the
+// registered problem share one implementation, and run results stay
+// byte-identical to the pre-platform MST-only code path.
+//
+// See DESIGN.md §2.8 for the platform contract and DESIGN.md §2.2 for
+// the scheme framework.
+package mstp
+
+import (
+	"fmt"
+
+	"mstadvice/internal/advice"
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/core"
+	"mstadvice/internal/graph"
+	"mstadvice/internal/problem"
+	"mstadvice/internal/schemes/localgather"
+	"mstadvice/internal/schemes/noadvice"
+	"mstadvice/internal/schemes/oneround"
+	"mstadvice/internal/schemes/pipeline"
+	"mstadvice/internal/schemes/trivial"
+)
+
+// Name is the registry key and store problem ID of the MST problem.
+const Name = "mst"
+
+func init() { problem.MustRegister(Problem{}) }
+
+// Problem is the MST advice problem. The zero value is ready to use.
+type Problem struct{}
+
+// Name implements problem.Problem.
+func (Problem) Name() string { return Name }
+
+// Encode runs the Theorem 3 oracle. Param is the packed-advice budget
+// (cap); 0 means the paper's default c+1 = 12 bits. Workers sizes the
+// decomposition/encoding pool; the output is byte-identical for any
+// worker count.
+func (Problem) Encode(g *graph.Graph, root graph.NodeID, opt problem.EncodeOptions) ([]*bitstring.BitString, error) {
+	capBits := opt.Param
+	if capBits <= 0 {
+		capBits = core.DefaultCap
+	}
+	d, err := core.BuildAdviceDetailOpt(g, root, capBits, core.OracleOptions{Workers: opt.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return d.Advice, nil
+}
+
+// Scheme returns the canonical decoder of the stored advice: the
+// Theorem 3 (12, O(log n)) scheme.
+func (Problem) Scheme() problem.Scheme { return core.Scheme{} }
+
+// Schemes returns the problem's advising schemes in increasing round
+// order — the set the facade and the daemons offer under -problem mst.
+func (Problem) Schemes() []problem.Scheme {
+	return []problem.Scheme{
+		trivial.Scheme{},
+		oneround.Scheme{},
+		core.Scheme{},
+		core.Scheme{Adaptive: true},
+		localgather.Scheme{},
+		noadvice.Scheme{},
+		pipeline.Scheme{},
+	}
+}
+
+// Output is the MST problem's typed result: the claimed root, the total
+// weight of the claimed tree, and the verdict against the unique rooted
+// reference MST.
+type Output struct {
+	// Root is the node that output "root" (-1 parent port), or -1 if
+	// none or several did.
+	Root graph.NodeID
+	// Weight is the total weight of the edges the parent ports select.
+	Weight graph.Weight
+	// Verified is true iff the output is exactly the unique rooted MST.
+	Verified bool
+	// VerifyErr explains a verification failure.
+	VerifyErr error
+}
+
+// Problem implements problem.Output.
+func (Output) Problem() string { return Name }
+
+// OK implements problem.Output.
+func (o Output) OK() bool { return o.Verified }
+
+// Err implements problem.Output.
+func (o Output) Err() error { return o.VerifyErr }
+
+// MSTRoot reports the claimed root; the run harness lifts it into
+// Result.Root without depending on this package.
+func (o Output) MSTRoot() graph.NodeID { return o.Root }
+
+// String implements problem.Output.
+func (o Output) String() string {
+	if !o.Verified {
+		return fmt.Sprintf("mst: not verified: %v", o.VerifyErr)
+	}
+	return fmt.Sprintf("mst: rooted at %d, weight %d", o.Root, o.Weight)
+}
+
+// VerifyOutput implements problem.Problem: outputs are parent ports
+// (-1 marks the root) and must encode the unique MST of g rooted at the
+// single claiming node. The designated root parameter is not consulted —
+// the paper's decoders discover the root from the advice — but the
+// claimed root is reported in the Output.
+func (Problem) VerifyOutput(g *graph.Graph, _ graph.NodeID, outputs []int) problem.Output {
+	out := Output{}
+	out.Verified, out.Root, out.VerifyErr = advice.VerifyOutput(g, outputs)
+	for u, p := range outputs {
+		if p >= 0 && p < g.Degree(graph.NodeID(u)) {
+			out.Weight += g.HalfAt(graph.NodeID(u), p).W
+		}
+	}
+	return out
+}

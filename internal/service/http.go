@@ -41,6 +41,10 @@ import (
 // registerRequest is the POST /v1/graphs body.
 type registerRequest struct {
 	ID string `json:"id"`
+	// Problem selects the advice problem for generated instances
+	// (default "mst"); stored snapshots carry their own problem ID and
+	// reject a conflicting value here.
+	Problem string `json:"problem,omitempty"`
 	// Path registers a stored snapshot.
 	Path string `json:"path,omitempty"`
 	// Family/N/Seed/Weights generate an instance instead.
@@ -184,7 +188,14 @@ func snapshotFor(req *registerRequest, allowPaths bool) (*store.Snapshot, error)
 		if !allowPaths {
 			return nil, fmt.Errorf("register: loading snapshots by path is disabled on this server")
 		}
-		return store.OpenMapped(req.Path)
+		snap, err := store.OpenMapped(req.Path)
+		if err != nil {
+			return nil, err
+		}
+		if req.Problem != "" && req.Problem != snap.Problem {
+			return nil, fmt.Errorf("register: snapshot %s stores problem %q, request says %q", req.Path, snap.Problem, req.Problem)
+		}
+		return snap, nil
 	case req.Family != "":
 		fam, err := gen.ByName(req.Family)
 		if err != nil {
@@ -208,8 +219,8 @@ func snapshotFor(req *registerRequest, allowPaths bool) (*store.Snapshot, error)
 		if req.Root < 0 || req.Root >= g.N() {
 			return nil, fmt.Errorf("register: root %d out of range [0,%d)", req.Root, g.N())
 		}
-		// No advice in the snapshot: Register runs the oracle.
-		return &store.Snapshot{Graph: g, Root: graph.NodeID(req.Root)}, nil
+		// No advice in the snapshot: Register runs the problem's oracle.
+		return &store.Snapshot{Problem: req.Problem, Graph: g, Root: graph.NodeID(req.Root)}, nil
 	default:
 		return nil, fmt.Errorf("register: need either path or family")
 	}

@@ -49,6 +49,9 @@ import (
 	"mstadvice/internal/core"
 	"mstadvice/internal/dynamic"
 	"mstadvice/internal/graph"
+	"mstadvice/internal/problem"
+	"mstadvice/internal/problem/mstp"
+	_ "mstadvice/internal/problem/topo" // register the topo problem for serving
 	"mstadvice/internal/sim"
 	"mstadvice/internal/store"
 )
@@ -65,9 +68,13 @@ type Epoch struct {
 	// registered snapshot. Replies carry it so clients can correlate
 	// answers across an update.
 	Seq uint64
+	// Problem is the advice problem this epoch's advice encodes
+	// (DESIGN.md §2.8); it never changes across updates of an entry.
+	Problem string
 	// Graph is a private snapshot; no advisor will ever patch it.
 	Graph *graph.Graph
-	// Root is the designated MST root.
+	// Root is the designated root (the MST root for mst, the flood
+	// origin for topo).
 	Root graph.NodeID
 	// Advice is the per-node assignment, byte-identical to a fresh oracle
 	// run on Graph.
@@ -82,17 +89,25 @@ type Epoch struct {
 	session  *Session
 }
 
-// Session is the result of replaying the distributed decoder against an
-// epoch's stored advice: the full rooted MST, without re-running the
-// oracle.
+// Session is the result of replaying the problem's canonical distributed
+// decoder against an epoch's stored advice — the full rooted MST for
+// mst, the per-node class tags for topo — without re-running the oracle.
 type Session struct {
-	Seq         uint64       `json:"epoch"`
-	Root        graph.NodeID `json:"root"`
+	Seq     uint64 `json:"epoch"`
+	Problem string `json:"problem"`
+	// Root is the node that claimed the MST root, or -1 on problems
+	// without one.
+	Root graph.NodeID `json:"root"`
+	// ParentPorts is the raw per-node decoder output: parent ports for
+	// mst, class tags for topo (the historical field name is part of the
+	// wire format).
 	ParentPorts []int        `json:"parent_ports"`
 	Rounds      int          `json:"rounds"`
 	Verified    bool         `json:"verified"`
 	VerifyErr   string       `json:"verify_error,omitempty"`
 	MSTWeight   graph.Weight `json:"mst_weight"`
+	// Output is the problem's one-line typed measurement.
+	Output string `json:"output,omitempty"`
 }
 
 // AdviceReply answers one per-node advice query.
@@ -106,6 +121,7 @@ type AdviceReply struct {
 // Info summarises one registered graph.
 type Info struct {
 	ID        string  `json:"id"`
+	Problem   string  `json:"problem"`
 	N         int     `json:"n"`
 	M         int     `json:"m"`
 	Root      int     `json:"root"`
@@ -131,9 +147,10 @@ type Stats struct {
 }
 
 type entry struct {
-	id  string
-	cap int
-	cur atomic.Pointer[Epoch]
+	id   string
+	cap  int
+	prob problem.Problem
+	cur  atomic.Pointer[Epoch]
 
 	// mu serializes writers; readers never take it.
 	mu  sync.Mutex
@@ -186,14 +203,21 @@ func (s *Service) Register(id string, snap *store.Snapshot) error {
 	if snap.Graph.N() == 0 {
 		return fmt.Errorf("service: empty graph for %q", id)
 	}
+	probName := snap.Problem
+	if probName == "" {
+		probName = mstp.Name
+	}
+	prob, err := problem.ByName(probName)
+	if err != nil {
+		return fmt.Errorf("service: registering %q: %w", id, err)
+	}
 	capBits := snap.Cap
-	if capBits <= 0 {
-		capBits = core.DefaultCap
+	if capBits <= 0 && probName == mstp.Name {
+		capBits = core.DefaultCap // the paper's c+1 budget; other problems define their own zero
 	}
 	adviceBits := snap.Advice
 	if adviceBits == nil {
-		var err error
-		adviceBits, err = core.BuildAdvice(snap.Graph, snap.Root, capBits)
+		adviceBits, err = prob.Encode(snap.Graph, snap.Root, problem.EncodeOptions{Param: capBits})
 		if err != nil {
 			return fmt.Errorf("service: building advice for %q: %w", id, err)
 		}
@@ -201,8 +225,8 @@ func (s *Service) Register(id string, snap *store.Snapshot) error {
 	if len(adviceBits) != snap.Graph.N() {
 		return fmt.Errorf("service: %q has %d advice strings for %d nodes", id, len(adviceBits), snap.Graph.N())
 	}
-	e := &entry{id: id, cap: capBits}
-	e.cur.Store(&Epoch{Graph: snap.Graph, Root: snap.Root, Advice: adviceBits})
+	e := &entry{id: id, cap: capBits, prob: prob}
+	e.cur.Store(&Epoch{Problem: probName, Graph: snap.Graph, Root: snap.Root, Advice: adviceBits})
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -293,7 +317,7 @@ func (s *Service) DecodeSession(ctx context.Context, id string) (*Session, error
 	ep.decodeMu.Lock()
 	defer ep.decodeMu.Unlock()
 	if ep.session == nil {
-		sess, err := decodeEpoch(ctx, ep)
+		sess, err := decodeEpoch(ctx, e.prob, ep)
 		if err != nil {
 			return nil, err
 		}
@@ -303,29 +327,31 @@ func (s *Service) DecodeSession(ctx context.Context, id string) (*Session, error
 	return ep.session, nil
 }
 
-// decodeEpoch runs the core scheme's decoder on the stored advice.
-func decodeEpoch(ctx context.Context, ep *Epoch) (*Session, error) {
+// decodeEpoch runs the problem's canonical decoder on the stored advice
+// and judges the output with the problem's verifier.
+func decodeEpoch(ctx context.Context, prob problem.Problem, ep *Epoch) (*Session, error) {
 	nw := sim.NewNetwork(ep.Graph)
-	scheme := core.Scheme{}
+	scheme := prob.Scheme()
 	res, err := nw.Run(scheme.NewNode, ep.Advice, sim.Options{Context: ctx})
 	if err != nil {
 		return nil, fmt.Errorf("service: decoding epoch %d: %w", ep.Seq, err)
 	}
 	sess := &Session{
 		Seq:         ep.Seq,
+		Problem:     prob.Name(),
+		Root:        -1,
 		ParentPorts: res.ParentPorts,
 		Rounds:      res.Rounds,
 	}
-	verified, root, verr := advice.VerifyOutput(ep.Graph, res.ParentPorts)
-	sess.Verified = verified
-	sess.Root = root
-	if verr != nil {
+	out := prob.VerifyOutput(ep.Graph, ep.Root, res.ParentPorts)
+	sess.Verified = out.OK()
+	sess.Output = out.String()
+	if verr := out.Err(); verr != nil {
 		sess.VerifyErr = verr.Error()
 	}
-	for u, p := range res.ParentPorts {
-		if p >= 0 {
-			sess.MSTWeight += ep.Graph.HalfAt(graph.NodeID(u), p).W
-		}
+	if mo, ok := out.(mstp.Output); ok {
+		sess.Root = mo.Root
+		sess.MSTWeight = mo.Weight
 	}
 	return sess, nil
 }
@@ -352,6 +378,27 @@ func (s *Service) Update(ctx context.Context, id string, b graph.Batch) (*Update
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.prob.Name() != mstp.Name {
+		// Generic path for problems without an incremental advisor: apply
+		// the batch to a private clone, re-run the problem's oracle, and
+		// publish — same epoch discipline, full re-encode.
+		prev := e.cur.Load()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("service: update of %q canceled: %w", id, err)
+		}
+		g := prev.Graph.Clone()
+		if err := g.ApplyBatch(b); err != nil {
+			return nil, fmt.Errorf("service: update of %q: %w", id, err)
+		}
+		adviceBits, err := e.prob.Encode(g, prev.Root, problem.EncodeOptions{Param: e.cap})
+		if err != nil {
+			return nil, fmt.Errorf("service: re-encoding %q: %w", id, err)
+		}
+		next := &Epoch{Seq: prev.Seq + 1, Problem: prev.Problem, Root: prev.Root, Graph: g, Advice: adviceBits}
+		e.cur.Store(next)
+		s.updates.Add(1)
+		return &UpdateReply{Epoch: next.Seq, Incremental: false, Reencoded: g.N()}, nil
+	}
 	if e.adv == nil {
 		ep := e.cur.Load()
 		if err := ctx.Err(); err != nil {
@@ -369,8 +416,9 @@ func (s *Service) Update(ctx context.Context, id string, b graph.Batch) (*Update
 	}
 	prev := e.cur.Load()
 	next := &Epoch{
-		Seq:  prev.Seq + 1,
-		Root: e.adv.Root(),
+		Seq:     prev.Seq + 1,
+		Problem: prev.Problem,
+		Root:    e.adv.Root(),
 		// The advisor owns its live graph and patches it in place on the
 		// next update; published epochs need a frozen copy.
 		Graph: e.adv.Graph().Clone(),
@@ -397,7 +445,7 @@ func (s *Service) InfoFor(id string) (Info, error) {
 func infoOf(id string, ep *Epoch) Info {
 	st := advice.Measure(ep.Advice, ep.Graph.N())
 	return Info{
-		ID: id, N: ep.Graph.N(), M: ep.Graph.M(), Root: int(ep.Root), Epoch: ep.Seq,
+		ID: id, Problem: ep.Problem, N: ep.Graph.N(), M: ep.Graph.M(), Root: int(ep.Root), Epoch: ep.Seq,
 		MaxBits: st.MaxBits, AvgBits: st.AvgBits, TotalBits: st.TotalBits,
 	}
 }

@@ -1,0 +1,145 @@
+package store
+
+import (
+	"encoding/binary"
+	"flag"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mstadvice/internal/core"
+	"mstadvice/internal/graph/gen"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the committed legacy golden blob")
+
+// encodeV1 writes the pre-platform version-1 layout: a bare cap varint
+// where version 2 carries the problem and payload sections. It exists
+// only in the tests — Encode always writes the current version — and
+// reuses Encode's output by splicing the header, so the two encoders
+// cannot drift on the shared sections.
+func encodeV1(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	v2, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &decoder{buf: v2, pos: len(magic)}
+	if _, err := d.uvarint("n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.uvarint("m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.uvarint("root"); err != nil {
+		t.Fatal(err)
+	}
+	headerEnd := d.pos // problem + payload sections start here
+	if _, err := d.problemName(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.problemPayload(); err != nil {
+		t.Fatal(err)
+	}
+	blob := append([]byte(nil), magicV1[:]...)
+	blob = append(blob, v2[len(magic):headerEnd]...)
+	blob = binary.AppendUvarint(blob, uint64(s.Cap))
+	blob = append(blob, v2[d.pos:len(v2)-4]...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(blob))
+	return append(blob, crc[:]...)
+}
+
+func legacySnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	g := gen.RandomConnected(32, 80, rand.New(rand.NewSource(77)), gen.Options{})
+	adv, err := core.BuildAdvice(g, 5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Snapshot{Graph: g, Root: 5, Cap: 12, Advice: adv}
+}
+
+// TestLegacyDecode pins backward compatibility of the version bump: a
+// version-1 blob decodes to the identical snapshot mapped to the "mst"
+// problem, and re-encoding it (now version 2) round-trips.
+func TestLegacyDecode(t *testing.T) {
+	want := legacySnapshot(t)
+	blob := encodeV1(t, want)
+	if blob[7] != 1 {
+		t.Fatalf("legacy encoder wrote version %d", blob[7])
+	}
+	snap, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertLegacyEqual(t, snap, want, "mst")
+
+	again, err := Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[7] != magic[7] {
+		t.Fatalf("re-encode wrote version %d, want %d", again[7], magic[7])
+	}
+	snap2, err := Decode(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertLegacyEqual(t, snap2, want, "mst")
+}
+
+// TestLegacyGolden decodes the committed pre-bump artifact, so the
+// compatibility guarantee is pinned against bytes on disk, not against
+// the in-test v1 encoder. Regenerate with -update only when intentionally
+// changing the golden instance.
+func TestLegacyGolden(t *testing.T) {
+	path := filepath.Join("testdata", "v1-golden.mstadv")
+	want := legacySnapshot(t)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, encodeV1(t, want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := Load(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test -run TestLegacyGolden -update ./internal/store)", err)
+	}
+	assertLegacyEqual(t, snap, want, "mst")
+	mapped, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertLegacyEqual(t, mapped, want, "mst")
+}
+
+func assertLegacyEqual(t *testing.T, got, want *Snapshot, problem string) {
+	t.Helper()
+	if got.Problem != problem {
+		t.Fatalf("Problem = %q, want %q", got.Problem, problem)
+	}
+	if got.Root != want.Root || got.Cap != want.Cap {
+		t.Fatalf("Root/Cap = %d/%d, want %d/%d", got.Root, got.Cap, want.Root, want.Cap)
+	}
+	if got.Graph.N() != want.Graph.N() || got.Graph.M() != want.Graph.M() {
+		t.Fatalf("graph %d/%d, want %d/%d", got.Graph.N(), got.Graph.M(), want.Graph.N(), want.Graph.M())
+	}
+	for u, e := range want.Graph.Edges() {
+		if got.Graph.Edges()[u] != e {
+			t.Fatalf("edge %d = %+v, want %+v", u, got.Graph.Edges()[u], e)
+		}
+	}
+	if (got.Advice == nil) != (want.Advice == nil) {
+		t.Fatalf("advice presence %v, want %v", got.Advice != nil, want.Advice != nil)
+	}
+	for u := range want.Advice {
+		if !got.Advice[u].Equal(want.Advice[u]) {
+			t.Fatalf("node %d advice differs", u)
+		}
+	}
+}

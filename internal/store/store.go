@@ -4,17 +4,21 @@
 // n = 10⁶ — round-trips to disk and reloads in time linear in the file,
 // without re-running the oracle.
 //
-// # Format (version 1)
+// # Format (version 2)
 //
 // All integers are unsigned LEB128 varints unless noted; "zigzag" marks
 // signed values folded into varints (encoding/binary conventions). The
 // layout is
 //
-//	magic     8 bytes "MSTADV\x00\x01" (version baked into the magic)
+//	magic     8 bytes "MSTADV\x00\x02" (version baked into the magic)
 //	n         node count
 //	m         edge count
-//	root      designated MST root
-//	cap       oracle packed-advice budget the advice was built with
+//	root      designated root
+//	problem   name length (1..64), then that many bytes — the advice
+//	            problem's registry key ("mst", "topo", ...)
+//	payload   per-problem payload length, then that many bytes; today a
+//	            single varint: the oracle's scalar parameter (the
+//	            packed-advice cap for mst, the beacon radius for topo)
 //	ids       n zigzag deltas id[u] − id[u−1] (id[−1] = 0)
 //	edges     m records in EdgeID order:
 //	            zigzag ΔU (U − U of previous record), V, PU, PV, W
@@ -23,6 +27,13 @@
 //	            then ⌈Σlen/8⌉ payload bytes, all strings bit-packed
 //	            back to back, LSB-first within each byte
 //	crc       4 bytes little-endian IEEE CRC32 of everything above
+//
+// Version 1 — the MST-only layout that predates the advice-problem
+// platform (DESIGN.md §2.8): identical except that the problem and
+// payload sections are replaced by a bare cap varint after root. Decode
+// still accepts it, mapping the snapshot to the "mst" problem, so every
+// committed artifact and -load workflow from before the bump keeps
+// working; Encode always writes version 2.
 //
 // Edges carry explicit ports (graph.FromRecords) because a graph that has
 // lived through dynamic deletions no longer has insertion-order ports;
@@ -54,16 +65,29 @@ import (
 // magic identifies the format and its version. Bumping the version means
 // changing the last byte, so older readers fail with "unsupported
 // version" instead of misparsing.
-var magic = [8]byte{'M', 'S', 'T', 'A', 'D', 'V', 0, 1}
+var magic = [8]byte{'M', 'S', 'T', 'A', 'D', 'V', 0, 2}
 
-// Snapshot is one stored oracle run: the graph, the designated root, the
-// oracle budget, and (optionally) the per-node advice assignment.
+// magicV1 is the pre-platform MST-only format, still decoded.
+var magicV1 = [8]byte{'M', 'S', 'T', 'A', 'D', 'V', 0, 1}
+
+// maxProblemName bounds the problem-name section; registry keys are
+// short ("mst", "topo").
+const maxProblemName = 64
+
+// Snapshot is one stored oracle run: the problem, the graph, the
+// designated root, the oracle parameter, and (optionally) the per-node
+// advice assignment.
 type Snapshot struct {
-	Graph *graph.Graph
-	Root  graph.NodeID
-	// Cap is the packed-advice budget (core.DefaultCap for the paper's
-	// scheme) the advice was built with; consumers need it to rebuild a
-	// dynamic advisor that reproduces the stored bits.
+	// Problem is the advice problem's registry key. Encode treats the
+	// empty string as "mst" (the platform's first problem, and the only
+	// one version-1 snapshots could hold); Decode always fills it in.
+	Problem string
+	Graph   *graph.Graph
+	Root    graph.NodeID
+	// Cap is the problem's scalar oracle parameter — the packed-advice
+	// budget (core.DefaultCap) for mst, the beacon radius for topo —
+	// the advice was built with; consumers need it to rebuild an oracle
+	// that reproduces the stored bits.
 	Cap int
 	// Advice is the per-node assignment, nil when the snapshot stores a
 	// bare graph.
@@ -92,13 +116,26 @@ func Encode(s *Snapshot) ([]byte, error) {
 	if s.Cap < 0 {
 		return nil, fmt.Errorf("store: negative cap %d", s.Cap)
 	}
+	prob := s.Problem
+	if prob == "" {
+		prob = "mst"
+	}
+	if len(prob) > maxProblemName {
+		return nil, fmt.Errorf("store: problem name %q longer than %d bytes", prob, maxProblemName)
+	}
 	// Size estimate: header + ids + 5 varints per edge + advice payload.
 	buf := make([]byte, 0, 64+10*n+25*m)
 	buf = append(buf, magic[:]...)
 	buf = binary.AppendUvarint(buf, uint64(n))
 	buf = binary.AppendUvarint(buf, uint64(m))
 	buf = binary.AppendUvarint(buf, uint64(s.Root))
-	buf = binary.AppendUvarint(buf, uint64(s.Cap))
+	buf = binary.AppendUvarint(buf, uint64(len(prob)))
+	buf = append(buf, prob...)
+	// Per-problem payload: today a single varint, the oracle parameter.
+	var payload [binary.MaxVarintLen64]byte
+	plen := binary.PutUvarint(payload[:], uint64(s.Cap))
+	buf = binary.AppendUvarint(buf, uint64(plen))
+	buf = append(buf, payload[:plen]...)
 	prevID := int64(0)
 	for _, id := range g.IDs() {
 		buf = binary.AppendVarint(buf, id-prevID)
@@ -226,7 +263,8 @@ func Decode(data []byte) (*Snapshot, error) {
 	if string(data[:6]) != string(magic[:6]) {
 		return nil, fmt.Errorf("store: bad magic %q", data[:6])
 	}
-	if data[6] != magic[6] || data[7] != magic[7] {
+	version := data[7]
+	if data[6] != 0 || (version != magic[7] && version != magicV1[7]) {
 		return nil, fmt.Errorf("store: unsupported format version %d.%d", data[6], data[7])
 	}
 	body, foot := data[:len(data)-4], data[len(data)-4:]
@@ -249,9 +287,21 @@ func Decode(data []byte) (*Snapshot, error) {
 	if n > 0 && root >= uint64(n) {
 		return nil, fmt.Errorf("store: root %d out of range [0,%d)", root, n)
 	}
-	capBits, err := d.count("cap")
-	if err != nil {
-		return nil, err
+	prob := "mst" // the only problem the version-1 layout could hold
+	var capBits int
+	if version == magicV1[7] {
+		// Legacy layout: a bare cap varint in place of the problem and
+		// payload sections.
+		if capBits, err = d.count("cap"); err != nil {
+			return nil, err
+		}
+	} else {
+		if prob, err = d.problemName(); err != nil {
+			return nil, err
+		}
+		if capBits, err = d.problemPayload(); err != nil {
+			return nil, err
+		}
 	}
 	ids := make([]int64, n)
 	prevID := int64(0)
@@ -305,7 +355,7 @@ func Decode(data []byte) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	snap := &Snapshot{Graph: g, Root: graph.NodeID(root), Cap: capBits}
+	snap := &Snapshot{Problem: prob, Graph: g, Root: graph.NodeID(root), Cap: capBits}
 	if d.pos >= len(d.buf) {
 		return nil, fmt.Errorf("store: truncated before the advice flag")
 	}
@@ -324,6 +374,50 @@ func Decode(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("store: %d trailing bytes after the snapshot", len(d.buf)-d.pos)
 	}
 	return snap, nil
+}
+
+// problemName parses the version-2 problem-name section.
+func (d *decoder) problemName() (string, error) {
+	l, err := d.uvarint("problem name length")
+	if err != nil {
+		return "", err
+	}
+	if l == 0 || l > maxProblemName {
+		return "", fmt.Errorf("store: problem name length %d outside [1,%d]", l, maxProblemName)
+	}
+	if d.pos+int(l) > len(d.buf) {
+		return "", fmt.Errorf("store: truncated problem name at offset %d", d.pos)
+	}
+	name := string(d.buf[d.pos : d.pos+int(l)])
+	d.pos += int(l)
+	return name, nil
+}
+
+// problemPayload parses the version-2 per-problem payload section: one
+// varint, the oracle parameter. The declared length must match the
+// varint exactly — any slack would break the canonical-encoding
+// property the fuzz test pins (accepted inputs re-encode byte-identical).
+func (d *decoder) problemPayload() (int, error) {
+	plen, err := d.uvarint("problem payload length")
+	if err != nil {
+		return 0, err
+	}
+	if plen == 0 || plen > binary.MaxVarintLen64 {
+		return 0, fmt.Errorf("store: problem payload length %d outside [1,%d]", plen, binary.MaxVarintLen64)
+	}
+	if d.pos+int(plen) > len(d.buf) {
+		return 0, fmt.Errorf("store: truncated problem payload at offset %d", d.pos)
+	}
+	sub := &decoder{buf: d.buf[:d.pos+int(plen)], pos: d.pos}
+	capBits, err := sub.count("oracle parameter")
+	if err != nil {
+		return 0, err
+	}
+	if sub.pos != d.pos+int(plen) {
+		return 0, fmt.Errorf("store: problem payload declares %d bytes, parameter uses %d", plen, sub.pos-d.pos)
+	}
+	d.pos = sub.pos
+	return capBits, nil
 }
 
 // decodeAdvice parses the advice section into a single arena. The

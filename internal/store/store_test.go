@@ -224,6 +224,9 @@ func TestDecodeRejectsInflatedMaxBits(t *testing.T) {
 		blob = binary.AppendUvarint(blob, 2) // n
 		blob = binary.AppendUvarint(blob, 1) // m
 		blob = binary.AppendUvarint(blob, 0) // root
+		blob = binary.AppendUvarint(blob, 3) // problem name length
+		blob = append(blob, "mst"...)        // problem name
+		blob = binary.AppendUvarint(blob, 1) // payload length
 		blob = binary.AppendUvarint(blob, 0) // cap
 		blob = binary.AppendVarint(blob, 1)  // id[0]
 		blob = binary.AppendVarint(blob, 1)  // id[1]

@@ -29,7 +29,12 @@
 //     latencies (UniformLatency) and adversarial delivery policies
 //     (SchedulerFIFO, SchedulerLIFO, SchedulerMaxDelay), synchronized
 //     by Awerbuch's α-synchronizer with its overhead accounted
-//     separately in the Result.
+//     separately in the Result;
+//   - the advice-problem platform (AdviceProblem, Problems,
+//     ProblemByName; DESIGN.md §2.8): the oracle/decoder/verifier triple
+//     behind Run generalized beyond MST, with topology recognition with
+//     advice (TopologyRecognition, TopoFlood, TopoDirect) as the second
+//     registered problem.
 //
 // See README.md for a tour, DESIGN.md for the architecture and
 // EXPERIMENTS.md for the paper-versus-measured record.
@@ -40,11 +45,15 @@ import (
 
 	"mstadvice/internal/advice"
 	"mstadvice/internal/bitstring"
+	"mstadvice/internal/boruvka"
 	"mstadvice/internal/core"
 	"mstadvice/internal/dynamic"
 	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
 	"mstadvice/internal/lowerbound"
+	"mstadvice/internal/problem"
+	"mstadvice/internal/problem/mstp"
+	"mstadvice/internal/problem/topo"
 	"mstadvice/internal/schemes/localgather"
 	"mstadvice/internal/schemes/noadvice"
 	"mstadvice/internal/schemes/oneround"
@@ -152,24 +161,117 @@ func NoAdvice() Scheme { return noadvice.Scheme{} }
 // messages.
 func Pipeline() Scheme { return pipeline.Scheme{} }
 
-// Schemes returns all schemes in increasing round order.
+// Schemes returns all MST schemes in increasing round order.
 func Schemes() []Scheme {
 	return []Scheme{Trivial(), OneRound(), ConstantAdvice(), ConstantAdviceAdaptive(), LocalGather(), NoAdvice(), Pipeline()}
 }
 
-// SchemeByName looks a scheme up by its Name.
+// SchemeByName looks a scheme up by its Name across every registered
+// advice problem ("core" and the other MST schemes, "topo-flood",
+// "topo-flood-r3", "topo-direct", ...).
 func SchemeByName(name string) (Scheme, bool) {
-	for _, s := range Schemes() {
-		if s.Name() == name {
-			return s, true
-		}
-	}
-	return nil, false
+	_, s, ok := problem.BySchemeName(name)
+	return s, ok
 }
+
+// Advice-problem platform re-exports (internal/problem; see DESIGN.md
+// §2.8). An AdviceProblem packages the oracle/decoder/verifier triple
+// that Run executes: the MST problem of the paper is one registrant,
+// topology recognition with advice (Fusco–Pelc style class tags) a
+// second; both run unmodified on the synchronous and asynchronous
+// engines and are served by the same AdviceService.
+type (
+	// AdviceProblem is one registered oracle/decoder/verifier triple.
+	AdviceProblem = problem.Problem
+	// ProblemOutput is a problem's typed, verified measurement of a run.
+	ProblemOutput = problem.Output
+	// ProblemEncodeOptions parameterize a problem's oracle (advice cap,
+	// flood radius, oracle worker count).
+	ProblemEncodeOptions = problem.EncodeOptions
+)
+
+// RegisterProblem adds an advice problem to the registry, making its
+// schemes resolvable through SchemeByName and its runs attributable in
+// Result.Problem. It rejects duplicate problem names and scheme names
+// already claimed by another problem. The built-in problems ("mst",
+// "topo") register themselves.
+func RegisterProblem(p AdviceProblem) error { return problem.Register(p) }
+
+// Problems returns every registered advice problem, sorted by name.
+func Problems() []AdviceProblem { return problem.Problems() }
+
+// ProblemNames returns the sorted names of the registered problems.
+func ProblemNames() []string { return problem.Names() }
+
+// ProblemByName looks a registered advice problem up by name ("mst",
+// "topo").
+func ProblemByName(name string) (AdviceProblem, error) { return problem.ByName(name) }
+
+// MSTProblem returns the paper's problem — minimum-spanning-tree
+// computation with advice — as a registered AdviceProblem. Its canonical
+// scheme is ConstantAdvice.
+func MSTProblem() AdviceProblem { return mstp.Problem{} }
+
+// TopologyRecognition returns the second registered advice problem:
+// every node must output the graph's topology class (a 30-bit
+// 1-dimensional Weisfeiler–Leman fingerprint). Its canonical scheme is
+// TopoFlood(0).
+func TopologyRecognition() AdviceProblem { return topo.Problem{} }
+
+// TopoFlood returns the flooding topology scheme: the oracle writes the
+// class at beacon nodes (every radius+1 BFS levels) and every other node
+// learns it from the nearest beacon's flood. Radius 0 tags only the
+// root — fewest advice bits, eccentricity-many rounds; larger radii
+// spend more advice to cut rounds, tracing the paper's (m, t) tradeoff
+// on the second problem.
+func TopoFlood(radius int) Scheme { return topo.Flood{Radius: radius} }
+
+// TopoDirect returns the (30, 0) topology scheme: the oracle writes the
+// class at every node and the decoder answers in zero rounds.
+func TopoDirect() Scheme { return topo.Direct{} }
+
+// TopoClass returns the topology class the recognition problem must
+// output on g: the low 30 bits of its 1-WL fingerprint.
+func TopoClass(g *Graph) int { return topo.Class(g) }
+
+// TopoLowerBoundFamily is a family of pairwise non-isomorphic graphs
+// indistinguishable at one target node, pinning the advice lower bound
+// for topology recognition (the pigeonhole argument of Theorem 1,
+// replayed for the second problem).
+type TopoLowerBoundFamily = topo.Family
+
+// NewTopoLowerBoundFamily builds k chord-position variants of the
+// n-cycle for the topology lower-bound experiment.
+func NewTopoLowerBoundFamily(n, k int) (*TopoLowerBoundFamily, error) { return topo.NewFamily(n, k) }
 
 // ConstantAdviceRounds returns the exact round count of the Theorem 3
 // decoder on n nodes and the paper's 9⌈log n⌉ bound.
 func ConstantAdviceRounds(n int) (exact, paper int) { return core.RoundBound(n) }
+
+// Schedule is the Theorem 3 decoder's fixed round schedule: converge —
+// choose — broadcast windows per Borůvka phase, shared by oracle and
+// decoder so nodes need no per-phase coordination.
+type Schedule = core.Schedule
+
+// NewSchedule builds the schedule for n nodes with the given advice cap.
+func NewSchedule(n, cap int) Schedule { return core.NewSchedule(n, cap) }
+
+// Decomposition is the deterministic Borůvka decomposition of §2.2
+// (Lemmas 1–2): the per-phase fragment structure the oracle encodes and
+// the decoder replays.
+type Decomposition = boruvka.Decomposition
+
+// BoruvkaOptions tune Decompose (parallel worker count).
+type BoruvkaOptions = boruvka.Options
+
+// Decompose runs the deterministic Borůvka decomposition of g rooted at
+// root.
+func Decompose(g *Graph, root NodeID) (*Decomposition, error) { return boruvka.Decompose(g, root) }
+
+// DecomposeOpt is Decompose with explicit options.
+func DecomposeOpt(g *Graph, root NodeID, opt BoruvkaOptions) (*Decomposition, error) {
+	return boruvka.DecomposeOpt(g, root, opt)
+}
 
 // Generator re-exports. All take an explicit random source and reproduce
 // the same graph for the same seed.
