@@ -18,12 +18,18 @@
 //	experiments -bench-topo BENCH_topo.json
 //	                                  # topology-recognition problem: family
 //	                                  # sweep with async parity, radius sweep
+//	experiments -bench-hier BENCH_hier.json
+//	                                  # hierarchical advice: bits-vs-rounds
+//	                                  # frontier, tier vs flat snapshot bytes
+//	                                  # (n up to 10⁶)
 //	experiments -bench-oracle /tmp/now.json -sizes 10000 \
 //	            -bench-baseline BENCH_oracle.json
 //	                                  # CI smoke: fail on >2x regression
+//	experiments -bench-sim /tmp/b.json -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                                  # profile any bench run with pprof
 //
 // With -bench-sim / -bench-oracle / -bench-service / -bench-async /
-// -bench-topo the
+// -bench-topo / -bench-hier the
 // command skips the tables, runs the corresponding benchmark (see
 // internal/experiments: SimBench, OracleBench, ServiceBench, AsyncBench,
 // TopoBench)
@@ -38,6 +44,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -46,7 +54,7 @@ import (
 
 func main() {
 	var (
-		which          = flag.String("e", "all", "comma-separated experiment ids (e1..e12) or 'all'")
+		which          = flag.String("e", "all", "comma-separated experiment ids (e1..e13) or 'all'")
 		sizes          = flag.String("sizes", "", "comma-separated n sweep (default 16,64,256,1024)")
 		families       = flag.String("families", "", "comma-separated families (default path,grid,random,expander)")
 		seed           = flag.Int64("seed", 1, "generator seed")
@@ -55,6 +63,9 @@ func main() {
 		benchService   = flag.String("bench-service", "", "run the advice-serving-layer benchmark and write JSON to this file instead of tables")
 		benchAsync     = flag.String("bench-async", "", "run the asynchronous-mode benchmark and write JSON to this file instead of tables")
 		benchTopo      = flag.String("bench-topo", "", "run the topology-recognition benchmark and write JSON to this file instead of tables")
+		benchHier      = flag.String("bench-hier", "", "run the hierarchical-advice benchmark and write JSON to this file instead of tables")
+		cpuProfile     = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile     = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		serviceQueries = flag.Int("service-queries", 0, "closed-loop query count per -bench-service row (0 = default)")
 		benchBase      = flag.String("bench-baseline", "", "compare benchmark rows against this committed baseline JSON and fail on regression")
 		benchFactor    = flag.Float64("bench-max-factor", 2.0, "regression threshold for -bench-baseline (ratio to baseline)")
@@ -79,10 +90,33 @@ func main() {
 	}
 
 	cfg.Queries = *serviceQueries
-	if *benchBase != "" && *benchSim == "" && *benchOracle == "" && *benchService == "" && *benchAsync == "" && *benchTopo == "" {
-		fail("-bench-baseline needs -bench-sim, -bench-oracle, -bench-service, -bench-async and/or -bench-topo to produce rows to compare")
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("%v", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
-	if *benchSim != "" || *benchOracle != "" || *benchService != "" || *benchAsync != "" || *benchTopo != "" {
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail("%v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail("%v", err)
+			}
+		}()
+	}
+	if *benchBase != "" && *benchSim == "" && *benchOracle == "" && *benchService == "" && *benchAsync == "" && *benchTopo == "" && *benchHier == "" {
+		fail("-bench-baseline needs -bench-sim, -bench-oracle, -bench-service, -bench-async, -bench-topo and/or -bench-hier to produce rows to compare")
+	}
+	if *benchSim != "" || *benchOracle != "" || *benchService != "" || *benchAsync != "" || *benchTopo != "" || *benchHier != "" {
 		// Read the baseline before any bench writes its rows: the output
 		// path may BE the committed baseline (one step regenerates the
 		// artifact and gates it against the committed state in a single
@@ -133,6 +167,14 @@ func main() {
 				fail("%v", err)
 			}
 			fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), *benchTopo)
+			all = append(all, rows...)
+		}
+		if *benchHier != "" {
+			rows := experiments.HierBench(cfg)
+			if err := experiments.WriteBench(*benchHier, rows); err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), *benchHier)
 			all = append(all, rows...)
 		}
 		if *benchBase != "" {

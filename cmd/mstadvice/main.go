@@ -6,6 +6,7 @@
 //	mstadvice -all -family lollipop -n 128
 //	mstadvice -problem topo -family ring -n 256      # topology recognition
 //	mstadvice -scheme topo-flood-r4 -family grid -n 256
+//	mstadvice -scheme mst-hier-l3 -family grid -n 256     # hierarchical advice
 //	mstadvice -sensitivity -family random -n 256     # per-edge MST tolerances
 //	mstadvice -faults 8 -family expander -n 128      # fail 8 non-tree links mid-run
 //	mstadvice -save run.mstadv -family random -n 100000   # persist graph + advice
@@ -48,7 +49,7 @@ import (
 func main() {
 	var (
 		probName    = flag.String("problem", "", "advice problem: mst | topo (default: the scheme's owner, or mst)")
-		schemeName  = flag.String("scheme", "", "scheme: trivial | oneround | core | core-adaptive | localgather | noadvice | pipeline | topo-flood[-rK] | topo-direct (default: the problem's canonical scheme)")
+		schemeName  = flag.String("scheme", "", "scheme: trivial | oneround | core | core-adaptive | localgather | noadvice | pipeline | mst-hier-lL | topo-flood[-rK] | topo-direct (default: the problem's canonical scheme)")
 		family      = flag.String("family", "random", "graph family (see -list)")
 		n           = flag.Int("n", 64, "approximate node count")
 		seed        = flag.Int64("seed", 1, "generator seed")

@@ -8,6 +8,7 @@
 //	mstadviced -graph demo=random:10000:7
 //	curl localhost:8371/v1/graphs/big/advice?node=42
 //	curl localhost:8371/v1/graphs/big/decode
+//	curl localhost:8371/v1/graphs/big/tier?level=2   # coarse tier as a flat snapshot
 //	curl -X POST localhost:8371/v1/graphs/big/update \
 //	     -d '{"weights":[{"edge":3,"w":999}]}'
 //

@@ -16,26 +16,31 @@ import (
 // symbol missing here — together they pin the README against facade
 // drift in both directions.
 var facadeFor = map[string]any{
-	"trivial.Scheme.Advise":     mstadvice.Trivial,
-	"lowerbound.BuildGn":        mstadvice.BuildGn,
-	"lowerbound.NewFamily":      mstadvice.NewLowerBoundFamily,
-	"oneround.Scheme.Advise":    mstadvice.OneRound,
-	"core.BuildAdvice":          mstadvice.MSTProblem().Encode,
-	"core.Scheme.NewNode":       mstadvice.ConstantAdvice,
-	"core.NewSchedule":          mstadvice.NewSchedule,
-	"core.BuildAdviceDetailOpt": mstadvice.MSTProblem().Encode,
-	"boruvka.Decompose":         mstadvice.Decompose,
-	"boruvka.DecomposeOpt":      mstadvice.DecomposeOpt,
-	"sim.Network.Run":           mstadvice.Run,
-	"sim.Network.RunAsync":      mstadvice.RunOptions{Async: true},
-	"sim.Options":               mstadvice.RunOptions{},
-	"advice.Run":                mstadvice.Run,
-	"problem.Register":          mstadvice.RegisterProblem,
-	"problem.BySchemeName":      mstadvice.SchemeByName,
-	"mstp.Problem.Encode":       mstadvice.MSTProblem,
-	"topo.Problem.Encode":       mstadvice.TopologyRecognition,
-	"topo.Flood.Advise":         mstadvice.TopoFlood,
-	"topo.NewFamily":            mstadvice.NewTopoLowerBoundFamily,
+	"trivial.Scheme.Advise":        mstadvice.Trivial,
+	"lowerbound.BuildGn":           mstadvice.BuildGn,
+	"lowerbound.NewFamily":         mstadvice.NewLowerBoundFamily,
+	"oneround.Scheme.Advise":       mstadvice.OneRound,
+	"core.BuildAdvice":             mstadvice.MSTProblem().Encode,
+	"core.Scheme.NewNode":          mstadvice.ConstantAdvice,
+	"core.NewSchedule":             mstadvice.NewSchedule,
+	"core.BuildAdviceDetailOpt":    mstadvice.MSTProblem().Encode,
+	"boruvka.Decompose":            mstadvice.Decompose,
+	"boruvka.DecomposeOpt":         mstadvice.DecomposeOpt,
+	"sim.Network.Run":              mstadvice.Run,
+	"sim.Network.RunAsync":         mstadvice.RunOptions{Async: true},
+	"sim.Options":                  mstadvice.RunOptions{},
+	"advice.Run":                   mstadvice.Run,
+	"problem.Register":             mstadvice.RegisterProblem,
+	"problem.BySchemeName":         mstadvice.SchemeByName,
+	"mstp.Problem.Encode":          mstadvice.MSTProblem,
+	"topo.Problem.Encode":          mstadvice.TopologyRecognition,
+	"topo.Flood.Advise":            mstadvice.TopoFlood,
+	"topo.NewFamily":               mstadvice.NewTopoLowerBoundFamily,
+	"boruvka.Tower":                mstadvice.Tower{},
+	"hier.Encode":                  mstadvice.HierScheme,
+	"hier.Scheme.NewNode":          mstadvice.HierScheme,
+	"hier.BuildTiers":              mstadvice.BuildAdviceTiers,
+	"service.Service.TierSnapshot": (*mstadvice.AdviceService).TierSnapshot,
 }
 
 // symbolRe matches backtick-quoted internal symbols of the form

@@ -100,10 +100,22 @@ type Options struct {
 	// KeepPhases, when positive, records only the first KeepPhases phase
 	// records (the merge simulation always runs to completion, so
 	// TotalPhases, TreeEdges, ParentPort, ParentEdge, SelPhase and Final
-	// are unaffected). The Theorem 3 oracle needs only the first
+	// are unaffected). A value larger than the number of phases the run
+	// executes is silently clamped: the record simply ends at
+	// TotalPhases, and Decomposition.KeptPhases reports the count that
+	// was actually retained. The Theorem 3 oracle needs only the first
 	// ⌈log log n⌉ + 1 phases, which at n = 10⁶ skips the annotation and
 	// storage of ~14 of ~20 phases. 0 records every phase.
 	KeepPhases int
+	// KeepTower, when set, retains the full contraction tower — every
+	// per-phase contracted graph with its fragment→supernode map and
+	// surviving relabelled edge list — as Decomposition.Tower. The
+	// tower is captured as plain copies of the contraction state, after
+	// the flat record of each phase is complete, so every flat output
+	// stays byte-identical whether or not the tower is kept. KeepPhases
+	// does not truncate the tower: the hierarchical codec needs the
+	// coarse graphs at levels the flat oracle never records.
+	KeepTower bool
 }
 
 // Decomposition is the full record of a run of the Borůvka variant.
@@ -136,6 +148,10 @@ type Decomposition struct {
 	// 0 for non-tree edges.
 	SelPhase []int
 
+	// Tower is the contraction tower, captured only under
+	// Options.KeepTower; nil otherwise.
+	Tower *Tower
+
 	// Flattened views of the rooted tree, computed once and shared by all
 	// phase annotations: the T-parent of u (-1 for the root), the weight
 	// of u's parent edge, and its port at the parent.
@@ -157,6 +173,12 @@ type Decomposition struct {
 // NumPhases returns the number of recorded phases (the number executed,
 // unless Options.KeepPhases truncated the record; see TotalPhases).
 func (d *Decomposition) NumPhases() int { return len(d.Phases) }
+
+// KeptPhases returns the number of phase records actually retained:
+// min(Options.KeepPhases, TotalPhases) when KeepPhases was positive,
+// TotalPhases otherwise. Callers that need the clamped count should use
+// this instead of re-deriving it from the options.
+func (d *Decomposition) KeptPhases() int { return len(d.Phases) }
 
 // FragmentsAtStart returns the fragment state at the start of phase i
 // (1-based). i may be NumPhases()+1, which yields the final single
@@ -255,6 +277,11 @@ func DecomposeOpt(g *graph.Graph, root graph.NodeID, opt Options) (*Decompositio
 	// on many-core hosts, and small graphs never engage more than one).
 	bests := make([][]int32, workers)
 
+	var tower *Tower
+	if opt.KeepTower {
+		tower = &Tower{G: g}
+	}
+
 	phases := 0
 	for i := 1; dsu.Sets() > 1; i++ {
 		if i > n+1 {
@@ -267,6 +294,7 @@ func DecomposeOpt(g *graph.Graph, root graph.NodeID, opt Options) (*Decompositio
 			// Contract: relabel last phase's fragments to dense new IDs in
 			// order of first appearance. Old IDs are ordered by smallest
 			// member node and scanned ascending, so new IDs are too.
+			prevFrags := numFrags
 			stamp := int32(i)
 			newNum := int32(0)
 			for f := 0; f < numFrags; f++ {
@@ -291,6 +319,24 @@ func DecomposeOpt(g *graph.Graph, root graph.NodeID, opt Options) (*Decompositio
 				}
 			}
 			live = live[:k]
+
+			if tower != nil {
+				// Snapshot the freshly contracted state as tower level i-1:
+				// the graph the start of phase i sees. Pure copies — the
+				// phase kernel below never observes them.
+				lev := TowerLevel{
+					Phase:    i,
+					NumFrags: numFrags,
+					Up:       append([]int32(nil), oldToNew[:prevFrags]...),
+					Rep:      append([]int32(nil), repNode[:numFrags]...),
+					Size:     append([]int32(nil), fsize[:numFrags]...),
+					Edges:    make([]TowerEdge, len(live)),
+				}
+				for idx, le := range live {
+					lev.Edges[idx] = TowerEdge{E: graph.EdgeID(le.e), U: le.u, V: le.v}
+				}
+				tower.Levels = append(tower.Levels, lev)
+			}
 		}
 		nf := numFrags
 
@@ -398,6 +444,7 @@ func DecomposeOpt(g *graph.Graph, root graph.NodeID, opt Options) (*Decompositio
 		TreeEdges:   treeEdges,
 		ParentPort:  parentPort,
 		SelPhase:    selPhase,
+		Tower:       tower,
 	}
 
 	// Flattened rooted-tree views shared by every phase annotation.

@@ -69,6 +69,12 @@ type BenchResult struct {
 	VirtualTime  int64 `json:"virtual_time,omitempty"`
 	SyncMessages int64 `json:"sync_messages,omitempty"`
 	SyncBits     int64 `json:"sync_bits,omitempty"`
+	// Hierarchical-advice columns (kind "hier", HierBench): the level's
+	// coarse node count, and the total mst-hier-l advice bits at that
+	// level (the budget axis of the bits-vs-rounds frontier; Bytes
+	// holds the tier's marginal snapshot cost).
+	CoarseN    int   `json:"coarse_n,omitempty"`
+	AdviceBits int64 `json:"advice_bits,omitempty"`
 }
 
 // BenchKey identifies a row for baseline comparison: rows match across

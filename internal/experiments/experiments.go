@@ -112,12 +112,13 @@ func Registry() map[string]func(Config) []*report.Table {
 		"e10": E10RoundProfile,
 		"e11": E11Churn,
 		"e12": E12Topology,
+		"e13": E13Hier,
 	}
 }
 
 // IDs returns the experiment identifiers in order.
 func IDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
 }
 
 func mustRun(s advice.Scheme, g *graph.Graph, root graph.NodeID, opt sim.Options) *advice.Result {

@@ -1,0 +1,210 @@
+// Package hier implements hierarchical MST advice with local
+// decompression, the bits-for-rounds trade formalized by Balliu et al.
+// ("Local Advice and Local Decompression", see PAPERS.md) on top of the
+// paper's Borůvka machinery.
+//
+// The flat Theorem 3 scheme of Fraigniaud, Korman and Lebhar spends
+// O(log log n) bits per node so every node can output its MST parent
+// port without any extra communication beyond the scheme's fixed
+// schedule. This package moves along the other axis of the trade: pick
+// a level L of the Borůvka contraction tower (boruvka.Tower), encode
+// the expensive part of the advice — the ⌈log n⌉-bit parent identity of
+// each fragment — once per level-L fragment instead of once per node,
+// and let the nodes of each fragment spend measured extra rounds
+// recombining the fragment's bits at run time.
+//
+// Advice at level L, per node u of fragment F (BFS index k, fragment
+// root r_F):
+//
+//	[root flag: 1 bit]
+//	[non-root only: u's MST parent port, ⌈log deg(u)⌉ bits]
+//	[carrier bits: bit positions k, k+s, k+2s, ... of F's value,
+//	 where s = min(|F|, w) and w = ⌈log n⌉; empty for k ≥ s]
+//
+// F's value is the global rank, among r_F's incident edges, of r_F's
+// MST parent edge — or all-ones for the fragment holding the global
+// root. The per-fragment total is exactly w bits however large F is,
+// so the per-node cost of the fragment identity falls geometrically
+// with L (Lemma 1: |F| ≥ 2^L), while every node still learns its exact
+// parent port: non-roots read it directly from their hint, fragment
+// roots reassemble the value by a convergecast over the fragment tree
+// and translate the rank back to a port with the same local-order
+// machinery the flat decoder uses.
+//
+// The decoder (see node.go) is level-oblivious — the advice is
+// self-describing — and runs unmodified on the synchronous and
+// asynchronous engines: ⌈log n⌉+1 rounds on every instance,
+// independent of L, the worker count, and the schedule. Scheme names
+// form the parameterized family "mst-hier-l%d", routed to the MST
+// problem through problem.SchemeMatcher.
+//
+// See DESIGN.md §2.9.
+package hier
+
+import (
+	"fmt"
+
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/boruvka"
+	"mstadvice/internal/graph"
+	"mstadvice/internal/par"
+	"mstadvice/internal/sim"
+)
+
+// Scheme is the hierarchical advising scheme at contraction level
+// Level: advice is assigned per fragment of the tower's level-Level
+// contracted graph (levels past the last contraction clamp to the
+// final single fragment). Values below 1 are treated as 1.
+type Scheme struct {
+	Level int
+}
+
+func (s Scheme) level() int {
+	if s.Level < 1 {
+		return 1
+	}
+	return s.Level
+}
+
+// Name returns the scheme's registry name, "mst-hier-l%d".
+func (s Scheme) Name() string { return fmt.Sprintf("mst-hier-l%d", s.level()) }
+
+// Advise computes the hierarchical advice sequentially.
+func (s Scheme) Advise(g *graph.Graph, root graph.NodeID) ([]*bitstring.BitString, error) {
+	return s.AdviseWorkers(g, root, 0)
+}
+
+// AdviseWorkers is Advise on a worker pool; the output is
+// byte-identical for any worker count (fragments are assigned to
+// workers in disjoint index ranges and nodes belong to one fragment).
+func (s Scheme) AdviseWorkers(g *graph.Graph, root graph.NodeID, workers int) ([]*bitstring.BitString, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, nil
+	}
+	d, err := boruvka.DecomposeOpt(g, root, boruvka.Options{Workers: workers, KeepPhases: s.level() + 1})
+	if err != nil {
+		return nil, err
+	}
+	return Encode(d, s.level(), workers)
+}
+
+// Encode assigns the level-L hierarchical advice from an existing
+// decomposition (which must have recorded at least min(level,
+// TotalPhases) phases). Levels beyond the last contraction clamp to
+// the final single fragment.
+func Encode(d *boruvka.Decomposition, level, workers int) ([]*bitstring.BitString, error) {
+	g := d.G
+	n := g.N()
+	if n < 2 {
+		return nil, nil
+	}
+	if level < 1 {
+		return nil, fmt.Errorf("hier: level %d out of range", level)
+	}
+	if level > d.TotalPhases {
+		level = d.TotalPhases
+	}
+	frags := d.FragmentsAtStart(level + 1)
+	width := graph.CeilLog2(n)
+	out := make([]*bitstring.BitString, n)
+	workers = par.Workers(workers)
+	err := par.FirstFailure(workers, len(frags), func(_, lo, hi int) (int, error) {
+		for fi := lo; fi < hi; fi++ {
+			if err := assignFragment(g, d, &frags[fi], width, out); err != nil {
+				return fi, err
+			}
+		}
+		return -1, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// assignFragment writes the advice of every node of one fragment.
+func assignFragment(g *graph.Graph, d *boruvka.Decomposition, f *boruvka.Fragment, width int, out []*bitstring.BitString) error {
+	allOnes := (uint64(1) << uint(width)) - 1
+	var value uint64
+	if f.Root == d.Root {
+		value = allOnes
+	} else {
+		value = uint64(g.GlobalRankAt(f.Root, d.ParentPort[f.Root]))
+		if value >= allOnes {
+			return fmt.Errorf("hier: rank %d of fragment root %d does not fit %d bits", value, f.Root, width)
+		}
+	}
+	stride := len(f.BFS)
+	if stride > width {
+		stride = width
+	}
+	for k, u := range f.BFS {
+		carry := 0
+		if k < stride {
+			carry = 1 + (width-1-k)/stride
+		}
+		b := bitstring.New(1 + graph.CeilLog2(g.Degree(u)) + carry)
+		if u == f.Root {
+			b.AppendBit(true)
+		} else {
+			b.AppendBit(false)
+			b.AppendUint(uint64(d.ParentPort[u]), bitstring.WidthFor(uint64(g.Degree(u)-1)))
+		}
+		for pos := k; pos < width; pos += stride {
+			b.AppendBit((value>>uint(pos))&1 == 1)
+		}
+		out[u] = b
+	}
+	return nil
+}
+
+// NewNode builds the local-decompression decoder for one node. The
+// decoder is level-oblivious: every Scheme{L} produces the same node.
+func (s Scheme) NewNode(view *sim.NodeView) sim.Node {
+	return newNode(view)
+}
+
+// Rounds returns the decoder's exact round count on an n-node
+// instance: ⌈log n⌉ + 1 for n ≥ 2, 0 for n < 2. It is independent of
+// the level, the family and the worker count.
+func Rounds(n int) int {
+	if n < 2 {
+		return 0
+	}
+	return graph.CeilLog2(n) + 1
+}
+
+// EstimateBits upper-bounds the total advice bits the level-l scheme
+// assigns on the tower's graph: one flag bit per node, a parent-port
+// hint for every node (roots save theirs, uncounted here), and exactly
+// ⌈log n⌉ value bits per level-l fragment.
+func EstimateBits(t *boruvka.Tower, l int) int {
+	g := t.G
+	n := g.N()
+	total := 0
+	for u := 0; u < n; u++ {
+		total += 1 + bitstring.WidthFor(uint64(g.Degree(graph.NodeID(u))-1))
+	}
+	return total + t.Level(l).NumFrags*graph.CeilLog2(n)
+}
+
+// PlanLevel is the level-cut planner: it returns the smallest tower
+// level whose EstimateBits fits budgetBits, or the coarsest level when
+// no level fits (or when budgetBits ≤ 0 — "as few bits as possible").
+// Coarser levels always estimate no larger, so the returned level is
+// the finest affordable cut.
+func PlanLevel(t *boruvka.Tower, budgetBits int) int {
+	last := t.NumLevels()
+	if last == 0 {
+		return 1
+	}
+	if budgetBits > 0 {
+		for l := 1; l <= last; l++ {
+			if EstimateBits(t, l) <= budgetBits {
+				return l
+			}
+		}
+	}
+	return last
+}

@@ -1,0 +1,250 @@
+package hier_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mstadvice/internal/advice"
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/boruvka"
+	"mstadvice/internal/graph"
+	"mstadvice/internal/graph/gen"
+	"mstadvice/internal/hier"
+	"mstadvice/internal/problem"
+	_ "mstadvice/internal/problem/mstp" // registers "mst" and routes mst-hier-l%d
+	"mstadvice/internal/sim"
+)
+
+// TestHierAllFamilies is the acceptance pin: the mst-hier-l%d decoder
+// verifies on every registered graph family, at several levels, on the
+// synchronous engine, with the exact fixed round count.
+func TestHierAllFamilies(t *testing.T) {
+	for _, fam := range gen.Families() {
+		fam := fam
+		t.Run(fam.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(21))
+			g, err := fam.Generate(60, rng, gen.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, level := range []int{1, 2, 3, 8} {
+				res, err := advice.Run(hier.Scheme{Level: level}, g, 0, sim.Options{})
+				if err != nil {
+					t.Fatalf("level %d: %v", level, err)
+				}
+				if !res.Verified {
+					t.Fatalf("level %d: not verified: %v", level, res.VerifyErr)
+				}
+				if res.Rounds != hier.Rounds(g.N()) {
+					t.Fatalf("level %d: %d rounds, want the fixed %d", level, res.Rounds, hier.Rounds(g.N()))
+				}
+			}
+		})
+	}
+}
+
+// TestHierAsyncParity runs the same decoder, unmodified, through the
+// α-synchronizer on the asynchronous engine: it must still verify, and
+// its simulated round count (pulses) must equal the synchronous one.
+func TestHierAsyncParity(t *testing.T) {
+	for _, fam := range gen.Families() {
+		fam := fam
+		t.Run(fam.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(22))
+			g, err := fam.Generate(40, rng, gen.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := advice.Run(hier.Scheme{Level: 2}, g, 0, sim.Options{Async: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Verified {
+				t.Fatalf("async: not verified: %v", res.VerifyErr)
+			}
+			if res.Pulses != hier.Rounds(g.N()) {
+				t.Fatalf("async: %d pulses, want %d", res.Pulses, hier.Rounds(g.N()))
+			}
+		})
+	}
+}
+
+// TestHierWorkerDeterminism pins the oracle's and engine's shared
+// contract: byte-identical advice and identical run results for any
+// worker count, sequential included.
+func TestHierWorkerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := gen.RandomConnected(300, 900, rng, gen.Options{})
+	s := hier.Scheme{Level: 3}
+	ref, err := s.AdviseWorkers(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got, err := s.AdviseWorkers(g, 0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range ref {
+			if !ref[u].Equal(got[u]) {
+				t.Fatalf("workers=%d: advice of node %d differs", workers, u)
+			}
+		}
+	}
+	var rounds []int
+	for _, opt := range []sim.Options{{Sequential: true}, {Workers: 2}, {Workers: 7}} {
+		res, err := advice.Run(s, g, 0, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatalf("opt %+v: not verified: %v", opt, res.VerifyErr)
+		}
+		rounds = append(rounds, res.Rounds)
+	}
+	for _, r := range rounds {
+		if r != rounds[0] {
+			t.Fatalf("round counts differ across worker counts: %v", rounds)
+		}
+	}
+}
+
+// TestHierSchemeRouting pins the parameterized-family routing through
+// the problem registry: every well-formed name reconstructs the scheme,
+// malformed ones fall through.
+func TestHierSchemeRouting(t *testing.T) {
+	p, s, ok := problem.BySchemeName("mst-hier-l4")
+	if !ok {
+		t.Fatal("mst-hier-l4 did not resolve")
+	}
+	if p.Name() != "mst" {
+		t.Fatalf("resolved to problem %q, want mst", p.Name())
+	}
+	if hs, ok := s.(hier.Scheme); !ok || hs.Level != 4 {
+		t.Fatalf("resolved scheme %#v, want hier.Scheme{Level: 4}", s)
+	}
+	for _, bad := range []string{"mst-hier-l0", "mst-hier-l-1", "mst-hier-lx", "mst-hier-l4x", "mst-hier-"} {
+		if _, _, ok := problem.BySchemeName(bad); ok {
+			t.Fatalf("%q resolved but should not", bad)
+		}
+	}
+}
+
+// TestHierBitsFall pins the point of the hierarchy: the per-node advice
+// total falls as the level coarsens (the fragment-value cost is
+// ⌈log n⌉ per fragment and Lemma 1 halves the fragment count per
+// level), and the estimate used by the planner upper-bounds the truth.
+func TestHierBitsFall(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	g := gen.RandomConnected(500, 1500, rng, gen.Options{})
+	d, err := boruvka.DecomposeOpt(g, 0, boruvka.Options{KeepTower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for level := 1; level <= d.Tower.NumLevels(); level++ {
+		adv, err := hier.Encode(d, level, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, b := range adv {
+			total += b.Len()
+		}
+		if est := hier.EstimateBits(d.Tower, level); est < total {
+			t.Fatalf("level %d: estimate %d below actual %d", level, est, total)
+		}
+		if prev >= 0 && total > prev {
+			t.Fatalf("level %d: %d bits, more than level %d's %d", level, total, level-1, prev)
+		}
+		prev = total
+	}
+}
+
+// TestPlanLevel pins the level-cut planner: finest affordable level,
+// coarsest when nothing (or no budget) fits.
+func TestPlanLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	g := gen.RandomConnected(400, 1200, rng, gen.Options{})
+	d, err := boruvka.DecomposeOpt(g, 0, boruvka.Options{KeepTower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := d.Tower
+	last := tw.NumLevels()
+	if last < 2 {
+		t.Skipf("tower has %d levels; need ≥ 2", last)
+	}
+	if got := hier.PlanLevel(tw, 0); got != last {
+		t.Fatalf("PlanLevel(0) = %d, want coarsest %d", got, last)
+	}
+	if got := hier.PlanLevel(tw, 1); got != last {
+		t.Fatalf("PlanLevel(1) = %d, want coarsest %d", got, last)
+	}
+	for l := 1; l <= last; l++ {
+		budget := hier.EstimateBits(tw, l)
+		got := hier.PlanLevel(tw, budget)
+		if got > l {
+			t.Fatalf("PlanLevel(%d) = %d, coarser than affordable level %d", budget, got, l)
+		}
+		if hier.EstimateBits(tw, got) > budget {
+			t.Fatalf("PlanLevel(%d) = %d overshoots the budget", budget, got)
+		}
+	}
+}
+
+// TestHierTinyGraphs sweeps the degenerate sizes the schedule's edge
+// cases live at.
+func TestHierTinyGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for n := 2; n <= 9; n++ {
+		g := gen.Path(n, rng, gen.Options{})
+		res, err := advice.Run(hier.Scheme{Level: 1}, g, graph.NodeID(n/2), sim.Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !res.Verified {
+			t.Fatalf("n=%d: not verified: %v", n, res.VerifyErr)
+		}
+	}
+}
+
+// TestHierAdviceSelfDescribing pins the advice layout the decoder
+// relies on: exactly one fragment-root flag per fragment, hints that
+// match the reference parent ports, and per-fragment carrier totals of
+// exactly ⌈log n⌉ bits.
+func TestHierAdviceSelfDescribing(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	g := gen.RandomConnected(200, 600, rng, gen.Options{})
+	level := 2
+	d, err := boruvka.DecomposeOpt(g, 0, boruvka.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := (hier.Scheme{Level: level}).Advise(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := graph.CeilLog2(g.N())
+	frags := d.FragmentsAtStart(level + 1)
+	for _, f := range frags {
+		carriers := 0
+		for _, u := range f.Nodes {
+			r := bitstring.NewReader(adv[u])
+			isRoot := r.ReadBit()
+			if isRoot != (u == f.Root) {
+				t.Fatalf("node %d: root flag %v, want %v", u, isRoot, u == f.Root)
+			}
+			if !isRoot {
+				hint := int(r.ReadUint(bitstring.WidthFor(uint64(g.Degree(u) - 1))))
+				if hint != d.ParentPort[u] {
+					t.Fatalf("node %d: hint %d, want parent port %d", u, hint, d.ParentPort[u])
+				}
+			}
+			carriers += r.Remaining()
+		}
+		if carriers != width {
+			t.Fatalf("fragment %d: %d carrier bits, want exactly %d", f.ID, carriers, width)
+		}
+	}
+}

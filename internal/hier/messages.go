@@ -1,0 +1,59 @@
+package hier
+
+import (
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/graph"
+	"mstadvice/internal/sim"
+)
+
+// helloMsg is the setup-round introduction, sent on every port: the
+// sender's identifier, its port for the connecting edge (needed to
+// evaluate the intrinsic global order locally), and whether the
+// receiver is the sender's MST parent per the sender's advice hint —
+// which, fragments being subtrees of T, tells every node its fragment
+// children in one round.
+type helloMsg struct {
+	ID    int64
+	Port  int
+	Child bool
+}
+
+func (helloMsg) SizeBits(cm sim.CostModel) int { return cm.IDBits + cm.PortBits + 1 }
+
+// hierPending marks a record whose parent-side fields are not filled
+// yet: only the record's fragment parent knows the connecting edge's
+// local coordinates, and fills them when first relaying.
+const hierPending = int64(-1) << 62
+
+// hierRec is one node's convergecast record: its identity, its
+// parent-side coordinates (filled by the parent), its fragment child
+// count (for completeness detection at the root), the hops traveled,
+// and its carrier bits of the fragment value.
+type hierRec struct {
+	ID           int64
+	ParentID     int64
+	W            graph.Weight
+	PortAtParent int
+	ChildCount   int
+	Hop          int
+	Bits         *bitstring.BitString
+}
+
+// hierRecMsg batches convergecast records up the fragment tree.
+type hierRecMsg struct {
+	Recs []hierRec
+}
+
+func (m hierRecMsg) SizeBits(cm sim.CostModel) int {
+	// Per record: id + parent id + hop (≈id width) + weight + port +
+	// child count (≈port width) + carrier bits with a 5-bit length
+	// (carrier payloads are ≤ ⌈log n⌉ ≤ 2^5 bits at any feasible n).
+	total := 0
+	for _, r := range m.Recs {
+		total += 3*cm.IDBits + cm.WeightBits + 2*cm.PortBits + 5
+		if r.Bits != nil {
+			total += r.Bits.Len()
+		}
+	}
+	return total
+}

@@ -1,0 +1,139 @@
+package hier
+
+import (
+	"mstadvice/internal/bitstring"
+	"mstadvice/internal/graph"
+	"mstadvice/internal/localorder"
+	"mstadvice/internal/sim"
+)
+
+// node is the local-decompression decoder. Non-roots learn their MST
+// parent port directly from the advice hint; each fragment root
+// reassembles its fragment's ⌈log n⌉-bit value from the carrier bits
+// spread over the fragment's BFS prefix, by a hop-truncated
+// convergecast over the fragment tree, then translates the decoded
+// global rank back to a port (all-ones marks the global root). The
+// schedule is fixed — every node terminates at round ⌈log n⌉ + 1 — so
+// the decoder is deterministic for any worker count and, wrapped in
+// the α-synchronizer, runs unmodified in asynchronous mode.
+type node struct {
+	width      int // ⌈log n⌉: value width, hop cap, schedule length
+	doneRound  int
+	root       bool
+	parentPort int
+	carriers   *bitstring.BitString
+
+	nbrID   []int64
+	nbrPort []int
+
+	sub   *subtree // fragment root only
+	done  bool
+	ended bool
+}
+
+func newNode(view *sim.NodeView) sim.Node {
+	return &node{parentPort: -1}
+}
+
+func (n *node) Start(ctx *sim.Ctx, view *sim.NodeView) []sim.Send {
+	if view.N < 2 {
+		n.done = true
+		return nil
+	}
+	n.width = graph.CeilLog2(view.N)
+	n.doneRound = n.width + 1
+	r := bitstring.NewReader(view.Advice)
+	n.root = r.ReadBit()
+	if !n.root {
+		n.parentPort = int(r.ReadUint(bitstring.WidthFor(uint64(view.Deg - 1))))
+	}
+	n.carriers = r.ReadBits(r.Remaining())
+	n.nbrID = make([]int64, view.Deg)
+	n.nbrPort = make([]int, view.Deg)
+	sends := make([]sim.Send, view.Deg)
+	for p := 0; p < view.Deg; p++ {
+		sends[p] = sim.Send{Port: p, Msg: helloMsg{
+			ID:    view.ID,
+			Port:  p,
+			Child: !n.root && p == n.parentPort,
+		}}
+	}
+	return sends
+}
+
+func (n *node) Round(ctx *sim.Ctx, view *sim.NodeView, inbox []sim.Received) []sim.Send {
+	var sends []sim.Send
+	switch {
+	case ctx.Round == 1:
+		children := 0
+		for _, rcv := range inbox {
+			h := rcv.Msg.(helloMsg)
+			n.nbrID[rcv.Port] = h.ID
+			n.nbrPort[rcv.Port] = h.Port
+			if h.Child {
+				children++
+			}
+		}
+		own := hierRec{ID: view.ID, ParentID: hierPending, ChildCount: children, Hop: 1, Bits: n.carriers}
+		if n.root {
+			n.sub = newSubtree(view.ID, children, n.carriers)
+		} else {
+			sends = append(sends, sim.Send{Port: n.parentPort, Msg: hierRecMsg{Recs: []hierRec{own}}})
+		}
+	case ctx.Round >= 2:
+		var relay []hierRec
+		for _, rcv := range inbox {
+			m := rcv.Msg.(hierRecMsg)
+			for _, rec := range m.Recs {
+				if rec.ParentID == hierPending {
+					rec.ParentID = view.ID
+					rec.W = view.PortW[rcv.Port]
+					rec.PortAtParent = rcv.Port
+				}
+				if n.root {
+					n.sub.add(rec)
+				} else if rec.Hop+1 <= n.width {
+					rec.Hop++
+					relay = append(relay, rec)
+				}
+			}
+		}
+		if len(relay) > 0 {
+			sends = append(sends, sim.Send{Port: n.parentPort, Msg: hierRecMsg{Recs: relay}})
+		}
+	}
+	if ctx.Round >= n.doneRound && !n.done {
+		if n.root {
+			n.resolve(view)
+		}
+		n.done = true
+	}
+	return sends
+}
+
+// resolve reassembles the fragment value at the root and converts it
+// to the root's own MST parent port.
+func (n *node) resolve(view *sim.NodeView) {
+	stride := n.width
+	if n.sub.complete() && n.sub.size() < stride {
+		stride = n.sub.size()
+	}
+	var value uint64
+	for k, tn := range n.sub.bfs(stride) {
+		r := bitstring.NewReader(tn.bits)
+		for pos := k; pos < n.width; pos += stride {
+			if r.ReadBit() {
+				value |= uint64(1) << uint(pos)
+			}
+		}
+	}
+	if value == (uint64(1)<<uint(n.width))-1 {
+		n.parentPort = -1 // global root
+		return
+	}
+	if p, ok := localorder.GlobalRankToPort(view.PortW, view.ID, n.nbrID, n.nbrPort, int(value)); ok {
+		n.parentPort = p
+	}
+}
+
+func (n *node) Output() (int, bool) { return n.parentPort, n.done }

@@ -1,0 +1,185 @@
+package hier_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mstadvice/internal/boruvka"
+	"mstadvice/internal/graph"
+	"mstadvice/internal/graph/gen"
+	"mstadvice/internal/hier"
+	"mstadvice/internal/store"
+)
+
+// TestBuildTiersCoarseMST pins the tier construction invariant: the
+// coarse graph's unique MST, mapped through the original-edge hints, is
+// exactly the set of original MST edges still uncontracted at that
+// level (the parent edges of the level's fragment roots).
+func TestBuildTiersCoarseMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := gen.RandomConnected(300, 900, rng, gen.Options{})
+	root := graph.NodeID(7)
+	d, err := boruvka.DecomposeOpt(g, root, boruvka.Options{KeepTower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers, err := hier.BuildTiers(g, root, hier.HierOptions{Levels: []int{1, 2, 3, 4, 5, 6, 7, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiers) != d.Tower.NumLevels() {
+		t.Fatalf("%d tiers, want one per tower level (%d)", len(tiers), d.Tower.NumLevels())
+	}
+	for _, tier := range tiers {
+		lev := d.Tower.Level(tier.Level)
+		if tier.Graph.N() != lev.NumFrags {
+			t.Fatalf("level %d: %d coarse nodes, want %d", tier.Level, tier.Graph.N(), lev.NumFrags)
+		}
+		for f, rep := range lev.Rep {
+			if tier.Graph.IDs()[f] != g.IDs()[rep] {
+				t.Fatalf("level %d: coarse node %d named %d, want representative's %d",
+					tier.Level, f, tier.Graph.IDs()[f], g.IDs()[rep])
+			}
+		}
+		if want := graph.NodeID(d.Tower.FragOf(tier.Level)[root]); tier.Root != want {
+			t.Fatalf("level %d: coarse root %d, want %d", tier.Level, tier.Root, want)
+		}
+		for i := 1; i < len(tier.OrigEdge); i++ {
+			if tier.OrigEdge[i] <= tier.OrigEdge[i-1] {
+				t.Fatalf("level %d: original-edge hints not ascending at %d", tier.Level, i)
+			}
+		}
+
+		want := map[graph.EdgeID]bool{}
+		for _, f := range d.FragmentsAtStart(tier.Level + 1) {
+			if f.Root != d.Root {
+				want[g.HalfAt(f.Root, d.ParentPort[f.Root]).Edge] = true
+			}
+		}
+		cd, err := boruvka.DecomposeOpt(tier.Graph, tier.Root, boruvka.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[graph.EdgeID]bool{}
+		for u := 0; u < tier.Graph.N(); u++ {
+			if graph.NodeID(u) != cd.Root {
+				ce := tier.Graph.HalfAt(graph.NodeID(u), cd.ParentPort[u]).Edge
+				got[tier.OrigEdge[ce]] = true
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("level %d: coarse MST maps to %d original edges, want the %d uncontracted MST edges",
+				tier.Level, len(got), len(want))
+		}
+	}
+}
+
+// TestBuildTiersSnapshotRoundTrip pins the join between the tier
+// builder and the version-3 codec: real tiers survive Encode/Decode.
+func TestBuildTiersSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g := gen.RandomConnected(120, 360, rng, gen.Options{})
+	tiers, err := hier.BuildTiers(g, 0, hier.HierOptions{Levels: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiers) == 0 {
+		t.Fatal("no tiers built")
+	}
+	blob, err := store.Encode(&store.Snapshot{Problem: "mst", Graph: g, Root: 0, Cap: 12, Tiers: tiers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Tiers) != len(tiers) {
+		t.Fatalf("decoded %d tiers, want %d", len(snap.Tiers), len(tiers))
+	}
+	for i := range tiers {
+		w, got := &tiers[i], &snap.Tiers[i]
+		if got.Level != w.Level || got.Root != w.Root ||
+			got.Graph.N() != w.Graph.N() || got.Graph.M() != w.Graph.M() {
+			t.Fatalf("tier %d header differs after round trip", i)
+		}
+		if !reflect.DeepEqual(got.OrigEdge, w.OrigEdge) {
+			t.Fatalf("tier %d original-edge hints differ after round trip", i)
+		}
+		if !reflect.DeepEqual(got.Graph.Edges(), w.Graph.Edges()) {
+			t.Fatalf("tier %d coarse edges differ after round trip", i)
+		}
+		for u := range w.Advice {
+			if !got.Advice[u].Equal(w.Advice[u]) {
+				t.Fatalf("tier %d node %d coarse advice differs after round trip", i, u)
+			}
+		}
+	}
+}
+
+// TestBuildTiersWorkerDeterminism pins the oracle contract for the tier
+// builder: identical tiers for any worker count.
+func TestBuildTiersWorkerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g := gen.RandomConnected(250, 700, rng, gen.Options{})
+	ref, err := hier.BuildTiers(g, 3, hier.HierOptions{Levels: []int{1, 2, 3}, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got, err := hier.BuildTiers(g, 3, hier.HierOptions{Levels: []int{1, 2, 3}, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: tiers differ from sequential build", workers)
+		}
+	}
+}
+
+// TestBuildTiersPlanned pins the Levels-empty path: one tier at the
+// planner's level, coarsest when there is no budget, and clamping of
+// out-of-range explicit levels.
+func TestBuildTiersPlanned(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	g := gen.RandomConnected(200, 500, rng, gen.Options{})
+	d, err := boruvka.DecomposeOpt(g, 0, boruvka.Options{KeepTower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarsest := d.Tower.NumLevels()
+
+	tiers, err := hier.BuildTiers(g, 0, hier.HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiers) != 1 || tiers[0].Level != coarsest {
+		t.Fatalf("no budget: got %d tiers at level %d, want 1 at coarsest %d", len(tiers), tiers[0].Level, coarsest)
+	}
+
+	budget := hier.EstimateBits(d.Tower, 1)
+	tiers, err = hier.BuildTiers(g, 0, hier.HierOptions{BudgetBits: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiers) != 1 || tiers[0].Level != hier.PlanLevel(d.Tower, budget) {
+		t.Fatalf("budget %d: got level %d, want the planner's %d", budget, tiers[0].Level, hier.PlanLevel(d.Tower, budget))
+	}
+
+	tiers, err = hier.BuildTiers(g, 0, hier.HierOptions{Levels: []int{0, 99, 99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiers) != 2 || tiers[0].Level != 1 || tiers[1].Level != coarsest {
+		t.Fatalf("clamping: got %+v levels, want [1 %d]", tierLevels(tiers), coarsest)
+	}
+}
+
+func tierLevels(tiers []store.Tier) []int {
+	ls := make([]int, len(tiers))
+	for i := range tiers {
+		ls[i] = tiers[i].Level
+	}
+	return ls
+}

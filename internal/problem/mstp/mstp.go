@@ -20,6 +20,7 @@ import (
 	"mstadvice/internal/bitstring"
 	"mstadvice/internal/core"
 	"mstadvice/internal/graph"
+	"mstadvice/internal/hier"
 	"mstadvice/internal/problem"
 	"mstadvice/internal/schemes/localgather"
 	"mstadvice/internal/schemes/noadvice"
@@ -71,6 +72,21 @@ func (Problem) Schemes() []problem.Scheme {
 		noadvice.Scheme{},
 		pipeline.Scheme{},
 	}
+}
+
+// MatchScheme implements problem.SchemeMatcher for the parameterized
+// hierarchical family "mst-hier-l%d" (internal/hier): any level ≥ 1
+// routes to the MST problem without being enumerated in Schemes.
+func (Problem) MatchScheme(name string) (problem.Scheme, bool) {
+	var l int
+	if _, err := fmt.Sscanf(name, "mst-hier-l%d", &l); err != nil || l < 1 {
+		return nil, false
+	}
+	s := hier.Scheme{Level: l}
+	if s.Name() != name {
+		return nil, false
+	}
+	return s, true
 }
 
 // Output is the MST problem's typed result: the claimed root, the total

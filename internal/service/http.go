@@ -28,6 +28,9 @@ import (
 //	GET    /v1/graphs/{id}              one graph's summary
 //	DELETE /v1/graphs/{id}              drop
 //	GET    /v1/graphs/{id}/advice?node=N   per-node advice bits
+//	GET    /v1/graphs/{id}/tier?level=N    coarse tier as a standalone
+//	                                    flat snapshot (level 0 or absent:
+//	                                    coarsest available)
 //	GET    /v1/graphs/{id}/decode       full local-MST reconstruction
 //	GET    /v1/graphs/{id}/verify       decode + verdict only
 //	POST   /v1/graphs/{id}/update       batched update: {"weights":
@@ -137,6 +140,22 @@ func NewHandler(s *Service, allowPaths bool) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, reply)
 	})
+	mux.HandleFunc("GET /v1/graphs/{id}/tier", func(w http.ResponseWriter, r *http.Request) {
+		level := 0
+		if raw := r.URL.Query().Get("level"); raw != "" {
+			var err error
+			if level, err = strconv.Atoi(raw); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad level parameter: %w", err))
+				return
+			}
+		}
+		reply, err := s.TierSnapshot(r.PathValue("id"), level)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, reply)
+	})
 	mux.HandleFunc("GET /v1/graphs/{id}/decode", func(w http.ResponseWriter, r *http.Request) {
 		sess, err := s.DecodeSession(r.Context(), r.PathValue("id"))
 		if err != nil {
@@ -230,7 +249,8 @@ func snapshotFor(req *registerRequest, allowPaths bool) (*store.Snapshot, error)
 // 404, cancellations 503, everything else 400.
 func statusFor(err error) int {
 	switch {
-	case strings.Contains(err.Error(), "unknown graph"):
+	case strings.Contains(err.Error(), "unknown graph"),
+		strings.Contains(err.Error(), "has no tier"):
 		return http.StatusNotFound
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable

@@ -49,6 +49,7 @@ import (
 	"mstadvice/internal/core"
 	"mstadvice/internal/dynamic"
 	"mstadvice/internal/graph"
+	"mstadvice/internal/hier"
 	"mstadvice/internal/problem"
 	"mstadvice/internal/problem/mstp"
 	_ "mstadvice/internal/problem/topo" // register the topo problem for serving
@@ -79,6 +80,12 @@ type Epoch struct {
 	// Advice is the per-node assignment, byte-identical to a fresh oracle
 	// run on Graph.
 	Advice []*bitstring.BitString
+	// Tiers are the optional coarse instances of a tiered snapshot
+	// (store version 3, built by hier.BuildTiers), ascending by level;
+	// nil when the snapshot is flat. Like everything else in an epoch
+	// they are immutable once published: updates rebuild the tiers on
+	// the next epoch's graph rather than patching these.
+	Tiers []store.Tier
 
 	// decodeMu guards the lazily computed session cache: the full
 	// local-MST reconstruction is deterministic per epoch, so it runs at
@@ -129,6 +136,9 @@ type Info struct {
 	MaxBits   int     `json:"advice_max_bits"`
 	AvgBits   float64 `json:"advice_avg_bits"`
 	TotalBits int     `json:"advice_total_bits"`
+	// TierLevels lists the levels of the epoch's tiered coarse
+	// instances, ascending; absent on flat snapshots.
+	TierLevels []int `json:"tier_levels,omitempty"`
 }
 
 // UpdateReply reports how a batch was absorbed.
@@ -226,7 +236,7 @@ func (s *Service) Register(id string, snap *store.Snapshot) error {
 		return fmt.Errorf("service: %q has %d advice strings for %d nodes", id, len(adviceBits), snap.Graph.N())
 	}
 	e := &entry{id: id, cap: capBits, prob: prob}
-	e.cur.Store(&Epoch{Problem: probName, Graph: snap.Graph, Root: snap.Root, Advice: adviceBits})
+	e.cur.Store(&Epoch{Problem: probName, Graph: snap.Graph, Root: snap.Root, Advice: adviceBits, Tiers: snap.Tiers})
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -301,6 +311,102 @@ func (s *Service) AdviceBits(id string, node int) (*bitstring.BitString, uint64,
 	}
 	s.queries.Add(1)
 	return ep.Advice[node], ep.Seq, nil
+}
+
+// TierReply answers one tier query: the coarse instance of the
+// requested level, shipped as a standalone flat (version 2) store
+// snapshot the client decodes and runs the unmodified flat scheme on,
+// plus the original-edge hints that ground every coarse edge back in
+// the served graph.
+type TierReply struct {
+	Level int    `json:"level"`
+	N     int    `json:"n"`
+	M     int    `json:"m"`
+	Root  int    `json:"root"`
+	Epoch uint64 `json:"epoch"`
+	// OrigEdges[e] is the edge of the full graph realizing coarse edge e.
+	OrigEdges []int `json:"orig_edges"`
+	// Snapshot is the encoded flat snapshot of the coarse instance
+	// (base64 in JSON).
+	Snapshot []byte `json:"snapshot"`
+}
+
+// Tier returns the tier of the requested level from the current epoch,
+// read-only, together with the epoch sequence. level ≤ 0 selects the
+// coarsest available tier. The read path is the same wait-free one as
+// Advice: shard RLock, one atomic epoch load, no copying.
+func (s *Service) Tier(id string, level int) (*store.Tier, uint64, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	ep := e.cur.Load()
+	tier, err := tierOf(ep, id, level)
+	if err != nil {
+		return nil, 0, err
+	}
+	return tier, ep.Seq, nil
+}
+
+// tierOf selects a tier within one frozen epoch, so callers pairing the
+// tier with other epoch state never straddle an update.
+func tierOf(ep *Epoch, id string, level int) (*store.Tier, error) {
+	if len(ep.Tiers) == 0 {
+		return nil, fmt.Errorf("service: graph %q has no tiers", id)
+	}
+	if level <= 0 {
+		return &ep.Tiers[len(ep.Tiers)-1], nil
+	}
+	for i := range ep.Tiers {
+		if ep.Tiers[i].Level == level {
+			return &ep.Tiers[i], nil
+		}
+	}
+	return nil, fmt.Errorf("service: graph %q has no tier at level %d (available: %v)", id, level, tierLevels(ep.Tiers))
+}
+
+// TierSnapshot serves the requested tier as an encoded standalone flat
+// snapshot of the coarse instance — the bytes a budget-constrained
+// client stores instead of the full flat snapshot, paying the
+// hierarchical decoder's extra rounds at query time.
+func (s *Service) TierSnapshot(id string, level int) (TierReply, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return TierReply{}, err
+	}
+	ep := e.cur.Load()
+	tier, err := tierOf(ep, id, level)
+	if err != nil {
+		return TierReply{}, err
+	}
+	blob, err := store.Encode(&store.Snapshot{
+		Problem: ep.Problem,
+		Graph:   tier.Graph,
+		Root:    tier.Root,
+		Cap:     e.cap,
+		Advice:  tier.Advice,
+		Version: 2,
+	})
+	if err != nil {
+		return TierReply{}, fmt.Errorf("service: encoding tier %d of %q: %w", tier.Level, id, err)
+	}
+	orig := make([]int, len(tier.OrigEdge))
+	for i, oe := range tier.OrigEdge {
+		orig[i] = int(oe)
+	}
+	s.queries.Add(1)
+	return TierReply{
+		Level: tier.Level, N: tier.Graph.N(), M: tier.Graph.M(), Root: int(tier.Root),
+		Epoch: ep.Seq, OrigEdges: orig, Snapshot: blob,
+	}, nil
+}
+
+func tierLevels(tiers []store.Tier) []int {
+	ls := make([]int, len(tiers))
+	for i := range tiers {
+		ls[i] = tiers[i].Level
+	}
+	return ls
 }
 
 // DecodeSession replays the distributed Theorem 3 decoder against the
@@ -394,6 +500,8 @@ func (s *Service) Update(ctx context.Context, id string, b graph.Batch) (*Update
 		if err != nil {
 			return nil, fmt.Errorf("service: re-encoding %q: %w", id, err)
 		}
+		// Tiers are an MST construct (hier.BuildTiers); a non-mst entry
+		// cannot carry meaningful ones, so none are rebuilt here.
 		next := &Epoch{Seq: prev.Seq + 1, Problem: prev.Problem, Root: prev.Root, Graph: g, Advice: adviceBits}
 		e.cur.Store(next)
 		s.updates.Add(1)
@@ -427,6 +535,20 @@ func (s *Service) Update(ctx context.Context, id string, b graph.Batch) (*Update
 		// slice of pointers is enough.
 		Advice: append([]*bitstring.BitString(nil), e.adv.Advice()...),
 	}
+	if len(prev.Tiers) > 0 {
+		// The incremental advisor maintains the flat advice, not the
+		// contraction tower, so a tiered entry pays one decomposition per
+		// update to rebuild its tiers at the same levels on the new graph.
+		// Readers keep serving the previous epoch's tiers meanwhile.
+		tiers, err := hier.BuildTiers(next.Graph, next.Root, hier.HierOptions{
+			Levels: tierLevels(prev.Tiers),
+			Cap:    e.cap,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: rebuilding tiers for %q: %w", id, err)
+		}
+		next.Tiers = tiers
+	}
 	e.cur.Store(next)
 	s.updates.Add(1)
 	reply := &UpdateReply{Epoch: next.Seq, Incremental: res.Incremental, Reencoded: len(res.Changed)}
@@ -444,10 +566,14 @@ func (s *Service) InfoFor(id string) (Info, error) {
 
 func infoOf(id string, ep *Epoch) Info {
 	st := advice.Measure(ep.Advice, ep.Graph.N())
-	return Info{
+	info := Info{
 		ID: id, Problem: ep.Problem, N: ep.Graph.N(), M: ep.Graph.M(), Root: int(ep.Root), Epoch: ep.Seq,
 		MaxBits: st.MaxBits, AvgBits: st.AvgBits, TotalBits: st.TotalBits,
 	}
+	if len(ep.Tiers) > 0 {
+		info.TierLevels = tierLevels(ep.Tiers)
+	}
+	return info
 }
 
 // List returns every registered graph's summary, sorted by ID.

@@ -22,7 +22,10 @@ var updateGolden = flag.Bool("update", false, "rewrite the committed legacy gold
 // cannot drift on the shared sections.
 func encodeV1(t *testing.T, s *Snapshot) []byte {
 	t.Helper()
-	v2, err := Encode(s)
+	flat := *s
+	flat.Version = 2 // v1 = v2 minus the problem/payload sections; no tier section
+	flat.Tiers = nil
+	v2, err := Encode(&flat)
 	if err != nil {
 		t.Fatal(err)
 	}

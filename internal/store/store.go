@@ -4,13 +4,13 @@
 // n = 10⁶ — round-trips to disk and reloads in time linear in the file,
 // without re-running the oracle.
 //
-// # Format (version 2)
+// # Format (version 3)
 //
 // All integers are unsigned LEB128 varints unless noted; "zigzag" marks
 // signed values folded into varints (encoding/binary conventions). The
 // layout is
 //
-//	magic     8 bytes "MSTADV\x00\x02" (version baked into the magic)
+//	magic     8 bytes "MSTADV\x00\x03" (version baked into the magic)
 //	n         node count
 //	m         edge count
 //	root      designated root
@@ -26,14 +26,26 @@
 //	            maxBits, then n per-node bit lengths,
 //	            then ⌈Σlen/8⌉ payload bytes, all strings bit-packed
 //	            back to back, LSB-first within each byte
+//	tiers     tier count (0..64); per tier (internal/hier builds them):
+//	            level, coarse n, coarse m, coarse root, then the coarse
+//	            graph's ids and edges sections, then coarse-m strictly
+//	            ascending original-edge deltas (Δ from −1, each ≥ 1) —
+//	            the cross-level expansion hints — then the coarse
+//	            advice section (same layout as advice)
 //	crc       4 bytes little-endian IEEE CRC32 of everything above
 //
+// Version 2 — the flat layout without the tier section. Decode still
+// accepts it (Snapshot.Version records what was read, and Encode honors
+// it, so flat v2 artifacts round-trip byte-identically); Encode writes
+// version 3 for Snapshot.Version 0.
+//
 // Version 1 — the MST-only layout that predates the advice-problem
-// platform (DESIGN.md §2.8): identical except that the problem and
-// payload sections are replaced by a bare cap varint after root. Decode
-// still accepts it, mapping the snapshot to the "mst" problem, so every
-// committed artifact and -load workflow from before the bump keeps
-// working; Encode always writes version 2.
+// platform (DESIGN.md §2.8): identical to version 2 except that the
+// problem and payload sections are replaced by a bare cap varint after
+// root. Decode still accepts it, mapping the snapshot to the "mst"
+// problem, so every committed artifact and -load workflow from before
+// the bumps keeps working; legacy input re-encodes to the current
+// version.
 //
 // Edges carry explicit ports (graph.FromRecords) because a graph that has
 // lived through dynamic deletions no longer has insertion-order ports;
@@ -65,10 +77,19 @@ import (
 // magic identifies the format and its version. Bumping the version means
 // changing the last byte, so older readers fail with "unsupported
 // version" instead of misparsing.
-var magic = [8]byte{'M', 'S', 'T', 'A', 'D', 'V', 0, 2}
+var magic = [8]byte{'M', 'S', 'T', 'A', 'D', 'V', 0, 3}
+
+// magicV2 is the flat platform format without the tier section, still
+// decoded and (via Snapshot.Version) still writable for tier-free
+// snapshots, so the committed v2 artifacts keep their exact bytes.
+var magicV2 = [8]byte{'M', 'S', 'T', 'A', 'D', 'V', 0, 2}
 
 // magicV1 is the pre-platform MST-only format, still decoded.
 var magicV1 = [8]byte{'M', 'S', 'T', 'A', 'D', 'V', 0, 1}
+
+// maxTiers bounds the tier section; tier levels track the Borůvka
+// tower, whose depth is ⌈log n⌉ ≤ 28 under maxReasonable.
+const maxTiers = 64
 
 // maxProblemName bounds the problem-name section; registry keys are
 // short ("mst", "topo").
@@ -92,6 +113,38 @@ type Snapshot struct {
 	// Advice is the per-node assignment, nil when the snapshot stores a
 	// bare graph.
 	Advice []*bitstring.BitString
+	// Tiers is the optional tiered-snapshot section (version 3): coarse
+	// contracted graphs with their own advice, finest level first by
+	// convention. Empty for flat snapshots.
+	Tiers []Tier
+	// Version selects the wire format Encode writes: 0 means the current
+	// version (3), 2 forces the flat version-2 layout (rejected when
+	// Tiers is non-empty). Decode sets it to the version it read (0 for
+	// legacy version-1 input, which re-encodes to the current version),
+	// so decode→encode is a byte-level fixed point on every supported
+	// version.
+	Version int
+}
+
+// Tier is one coarse level of a tiered snapshot: the contracted graph
+// at a Borůvka tower level (internal/hier builds it), whose node IDs
+// are the original IDs of the fragments' representative nodes, plus the
+// expansion hints a consumer needs to act on the full graph — for each
+// coarse edge, the original edge realizing it — and the coarse graph's
+// own advice assignment.
+type Tier struct {
+	// Level is the tower level (≥ 1) the tier coarsens to.
+	Level int
+	// Graph is the contracted graph (dense coarse node indices).
+	Graph *graph.Graph
+	// Root is the coarse node whose fragment holds the original root.
+	Root graph.NodeID
+	// OrigEdge[e] is the original-graph edge the coarse edge e
+	// realizes, strictly ascending in e (the canonical coarse edge
+	// order is by original edge).
+	OrigEdge []graph.EdgeID
+	// Advice is the per-coarse-node assignment, nil for a bare tier.
+	Advice []*bitstring.BitString
 }
 
 // maxReasonable bounds per-item counts decoded from headers before any
@@ -100,10 +153,24 @@ type Snapshot struct {
 // n = 10⁶ operating point while still letting the codec scale.
 const maxReasonable = 1 << 28
 
-// Encode serialises the snapshot.
+// Encode serialises the snapshot in the version Snapshot.Version
+// selects (0 means current).
 func Encode(s *Snapshot) ([]byte, error) {
 	if s == nil || s.Graph == nil {
 		return nil, fmt.Errorf("store: nil snapshot")
+	}
+	version := s.Version
+	if version == 0 {
+		version = 3
+	}
+	switch version {
+	case 3:
+	case 2:
+		if len(s.Tiers) > 0 {
+			return nil, fmt.Errorf("store: version 2 cannot hold %d tiers", len(s.Tiers))
+		}
+	default:
+		return nil, fmt.Errorf("store: cannot encode version %d (writable: 2, 3)", version)
 	}
 	g := s.Graph
 	n, m := g.N(), g.M()
@@ -125,7 +192,11 @@ func Encode(s *Snapshot) ([]byte, error) {
 	}
 	// Size estimate: header + ids + 5 varints per edge + advice payload.
 	buf := make([]byte, 0, 64+10*n+25*m)
-	buf = append(buf, magic[:]...)
+	if version == 2 {
+		buf = append(buf, magicV2[:]...)
+	} else {
+		buf = append(buf, magic[:]...)
+	}
 	buf = binary.AppendUvarint(buf, uint64(n))
 	buf = binary.AppendUvarint(buf, uint64(m))
 	buf = binary.AppendUvarint(buf, uint64(s.Root))
@@ -136,6 +207,24 @@ func Encode(s *Snapshot) ([]byte, error) {
 	plen := binary.PutUvarint(payload[:], uint64(s.Cap))
 	buf = binary.AppendUvarint(buf, uint64(plen))
 	buf = append(buf, payload[:plen]...)
+	buf, err := appendGraphBody(buf, g)
+	if err != nil {
+		return nil, err
+	}
+	buf = appendAdviceSection(buf, s.Advice)
+	if version == 3 {
+		if buf, err = appendTiers(buf, s); err != nil {
+			return nil, err
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	return append(buf, crc[:]...), nil
+}
+
+// appendGraphBody writes the id and edge sections shared by the main
+// graph and the tier coarse graphs.
+func appendGraphBody(buf []byte, g *graph.Graph) ([]byte, error) {
 	prevID := int64(0)
 	for _, id := range g.IDs() {
 		buf = binary.AppendVarint(buf, id-prevID)
@@ -153,27 +242,78 @@ func Encode(s *Snapshot) ([]byte, error) {
 		buf = binary.AppendUvarint(buf, uint64(e.PV))
 		buf = binary.AppendUvarint(buf, uint64(e.W))
 	}
-	if s.Advice == nil {
-		buf = append(buf, 0)
-	} else {
-		buf = append(buf, 1)
-		maxBits, total := 0, 0
-		for _, a := range s.Advice {
-			bits := a.Len()
-			total += bits
-			if bits > maxBits {
-				maxBits = bits
-			}
-		}
-		buf = binary.AppendUvarint(buf, uint64(maxBits))
-		for _, a := range s.Advice {
-			buf = binary.AppendUvarint(buf, uint64(a.Len()))
-		}
-		buf = appendPacked(buf, s.Advice, total)
+	return buf, nil
+}
+
+// appendAdviceSection writes the flag byte plus, when advice is
+// present, the max-bits header, the per-node lengths and the bit-packed
+// payload — for the main assignment and for each tier's.
+func appendAdviceSection(buf []byte, advice []*bitstring.BitString) []byte {
+	if advice == nil {
+		return append(buf, 0)
 	}
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
-	return append(buf, crc[:]...), nil
+	buf = append(buf, 1)
+	maxBits, total := 0, 0
+	for _, a := range advice {
+		bits := a.Len()
+		total += bits
+		if bits > maxBits {
+			maxBits = bits
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(maxBits))
+	for _, a := range advice {
+		buf = binary.AppendUvarint(buf, uint64(a.Len()))
+	}
+	return appendPacked(buf, advice, total)
+}
+
+// appendTiers writes the version-3 tier section: the tier count, then
+// per tier the level, the coarse node/edge counts, the coarse root, the
+// coarse graph body, the ascending original-edge deltas and the coarse
+// advice section.
+func appendTiers(buf []byte, s *Snapshot) ([]byte, error) {
+	if len(s.Tiers) > maxTiers {
+		return nil, fmt.Errorf("store: %d tiers exceed the limit %d", len(s.Tiers), maxTiers)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Tiers)))
+	for ti := range s.Tiers {
+		t := &s.Tiers[ti]
+		if t.Graph == nil {
+			return nil, fmt.Errorf("store: tier %d has no graph", ti)
+		}
+		cn, cm := t.Graph.N(), t.Graph.M()
+		switch {
+		case t.Level < 1:
+			return nil, fmt.Errorf("store: tier %d level %d below 1", ti, t.Level)
+		case cn > s.Graph.N():
+			return nil, fmt.Errorf("store: tier %d has %d coarse nodes for %d original", ti, cn, s.Graph.N())
+		case t.Root < 0 || int(t.Root) >= cn:
+			return nil, fmt.Errorf("store: tier %d root %d out of range [0,%d)", ti, t.Root, cn)
+		case len(t.OrigEdge) != cm:
+			return nil, fmt.Errorf("store: tier %d has %d original-edge hints for %d coarse edges", ti, len(t.OrigEdge), cm)
+		case t.Advice != nil && len(t.Advice) != cn:
+			return nil, fmt.Errorf("store: tier %d has %d advice strings for %d coarse nodes", ti, len(t.Advice), cn)
+		}
+		buf = binary.AppendUvarint(buf, uint64(t.Level))
+		buf = binary.AppendUvarint(buf, uint64(cn))
+		buf = binary.AppendUvarint(buf, uint64(cm))
+		buf = binary.AppendUvarint(buf, uint64(t.Root))
+		var err error
+		if buf, err = appendGraphBody(buf, t.Graph); err != nil {
+			return nil, err
+		}
+		prev := int64(-1)
+		for ei, orig := range t.OrigEdge {
+			if int64(orig) <= prev || int(orig) >= s.Graph.M() {
+				return nil, fmt.Errorf("store: tier %d original edges not ascending within [0,%d) at index %d", ti, s.Graph.M(), ei)
+			}
+			buf = binary.AppendUvarint(buf, uint64(int64(orig)-prev))
+			prev = int64(orig)
+		}
+		buf = appendAdviceSection(buf, t.Advice)
+	}
+	return buf, nil
 }
 
 // appendPacked streams all advice strings back to back into a bit-packed
@@ -264,7 +404,7 @@ func Decode(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("store: bad magic %q", data[:6])
 	}
 	version := data[7]
-	if data[6] != 0 || (version != magic[7] && version != magicV1[7]) {
+	if data[6] != 0 || (version != magic[7] && version != magicV2[7] && version != magicV1[7]) {
 		return nil, fmt.Errorf("store: unsupported format version %d.%d", data[6], data[7])
 	}
 	body, foot := data[:len(data)-4], data[len(data)-4:]
@@ -303,6 +443,34 @@ func Decode(data []byte) (*Snapshot, error) {
 			return nil, err
 		}
 	}
+	g, err := d.decodeGraphBody(n, m)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{Problem: prob, Graph: g, Root: graph.NodeID(root), Cap: capBits}
+	switch version {
+	case magicV2[7]:
+		snap.Version = 2
+	case magic[7]:
+		snap.Version = 3
+	}
+	if snap.Advice, err = d.adviceSection(n); err != nil {
+		return nil, err
+	}
+	if version == magic[7] {
+		if snap.Tiers, err = d.decodeTiers(n, m); err != nil {
+			return nil, err
+		}
+	}
+	if d.pos != len(d.buf) {
+		return nil, fmt.Errorf("store: %d trailing bytes after the snapshot", len(d.buf)-d.pos)
+	}
+	return snap, nil
+}
+
+// decodeGraphBody parses the id and edge sections shared by the main
+// graph and the tier coarse graphs.
+func (d *decoder) decodeGraphBody(n, m int) (*graph.Graph, error) {
 	ids := make([]int64, n)
 	prevID := int64(0)
 	for u := range ids {
@@ -351,11 +519,12 @@ func Decode(data []byte) (*Snapshot, error) {
 			PU: pu, PV: pv, W: graph.Weight(w),
 		}
 	}
-	g, err := graph.FromRecords(ids, edges)
-	if err != nil {
-		return nil, err
-	}
-	snap := &Snapshot{Problem: prob, Graph: g, Root: graph.NodeID(root), Cap: capBits}
+	return graph.FromRecords(ids, edges)
+}
+
+// adviceSection parses a flag byte plus, when set, an advice section of
+// n strings.
+func (d *decoder) adviceSection(n int) ([]*bitstring.BitString, error) {
 	if d.pos >= len(d.buf) {
 		return nil, fmt.Errorf("store: truncated before the advice flag")
 	}
@@ -363,17 +532,84 @@ func Decode(data []byte) (*Snapshot, error) {
 	d.pos++
 	switch flag {
 	case 0:
+		return nil, nil
 	case 1:
-		if snap.Advice, err = d.decodeAdvice(n); err != nil {
-			return nil, err
-		}
+		return d.decodeAdvice(n)
 	default:
 		return nil, fmt.Errorf("store: bad advice flag %d", flag)
 	}
-	if d.pos != len(d.buf) {
-		return nil, fmt.Errorf("store: %d trailing bytes after the snapshot", len(d.buf)-d.pos)
+}
+
+// decodeTiers parses the version-3 tier section against the main
+// graph's dimensions.
+func (d *decoder) decodeTiers(mainN, mainM int) ([]Tier, error) {
+	count, err := d.count("tier count")
+	if err != nil {
+		return nil, err
 	}
-	return snap, nil
+	if count == 0 {
+		return nil, nil
+	}
+	if count > maxTiers {
+		return nil, fmt.Errorf("store: tier count %d exceeds the limit %d", count, maxTiers)
+	}
+	tiers := make([]Tier, count)
+	for ti := range tiers {
+		level, err := d.count("tier level")
+		if err != nil {
+			return nil, err
+		}
+		if level < 1 {
+			return nil, fmt.Errorf("store: tier %d level %d below 1", ti, level)
+		}
+		cn, err := d.count("tier node count")
+		if err != nil {
+			return nil, err
+		}
+		if cn < 1 || cn > mainN {
+			return nil, fmt.Errorf("store: tier %d has %d coarse nodes for %d original", ti, cn, mainN)
+		}
+		cm, err := d.count("tier edge count")
+		if err != nil {
+			return nil, err
+		}
+		if cm > mainM {
+			return nil, fmt.Errorf("store: tier %d has %d coarse edges for %d original", ti, cm, mainM)
+		}
+		root, err := d.uvarint("tier root")
+		if err != nil {
+			return nil, err
+		}
+		if root >= uint64(cn) {
+			return nil, fmt.Errorf("store: tier %d root %d out of range [0,%d)", ti, root, cn)
+		}
+		g, err := d.decodeGraphBody(cn, cm)
+		if err != nil {
+			return nil, err
+		}
+		origEdge := make([]graph.EdgeID, cm)
+		prev := int64(-1)
+		for ei := range origEdge {
+			delta, err := d.uvarint("tier original-edge delta")
+			if err != nil {
+				return nil, err
+			}
+			if delta == 0 {
+				return nil, fmt.Errorf("store: tier %d original edges not strictly ascending at index %d", ti, ei)
+			}
+			prev += int64(delta)
+			if prev >= int64(mainM) {
+				return nil, fmt.Errorf("store: tier %d original edge %d out of range [0,%d)", ti, prev, mainM)
+			}
+			origEdge[ei] = graph.EdgeID(prev)
+		}
+		advice, err := d.adviceSection(cn)
+		if err != nil {
+			return nil, err
+		}
+		tiers[ti] = Tier{Level: level, Graph: g, Root: graph.NodeID(root), OrigEdge: origEdge, Advice: advice}
+	}
+	return tiers, nil
 }
 
 // problemName parses the version-2 problem-name section.

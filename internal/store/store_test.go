@@ -239,6 +239,7 @@ func TestDecodeRejectsInflatedMaxBits(t *testing.T) {
 		blob = binary.AppendUvarint(blob, maxBits)
 		blob = binary.AppendUvarint(blob, 0) // len[0]
 		blob = binary.AppendUvarint(blob, 0) // len[1]
+		blob = binary.AppendUvarint(blob, 0) // tier count
 		var crc [4]byte
 		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(blob))
 		return append(blob, crc[:]...)

@@ -34,7 +34,12 @@
 //     ProblemByName; DESIGN.md §2.8): the oracle/decoder/verifier triple
 //     behind Run generalized beyond MST, with topology recognition with
 //     advice (TopologyRecognition, TopoFlood, TopoDirect) as the second
-//     registered problem.
+//     registered problem;
+//   - hierarchical advice (Tower, HierScheme, BuildAdviceTiers;
+//     DESIGN.md §2.9): the Borůvka contraction tower kept first-class,
+//     the level-parameterized mst-hier-l schemes trading advice bits
+//     for extra decompression rounds, and tiered snapshots whose coarse
+//     instances the service hands out (AdviceService.TierSnapshot).
 //
 // See README.md for a tour, DESIGN.md for the architecture and
 // EXPERIMENTS.md for the paper-versus-measured record.
@@ -50,6 +55,7 @@ import (
 	"mstadvice/internal/dynamic"
 	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
+	"mstadvice/internal/hier"
 	"mstadvice/internal/lowerbound"
 	"mstadvice/internal/problem"
 	"mstadvice/internal/problem/mstp"
@@ -271,6 +277,50 @@ func Decompose(g *Graph, root NodeID) (*Decomposition, error) { return boruvka.D
 // DecomposeOpt is Decompose with explicit options.
 func DecomposeOpt(g *Graph, root NodeID, opt BoruvkaOptions) (*Decomposition, error) {
 	return boruvka.DecomposeOpt(g, root, opt)
+}
+
+// Hierarchical-advice re-exports (internal/hier and the boruvka
+// contraction tower; see DESIGN.md §2.9). DecomposeOpt with
+// BoruvkaOptions.KeepTower retains the full contraction tower; the
+// mst-hier-l schemes spend fewer advice bits at a coarser tower level
+// in exchange for a fixed number of extra decompression rounds; tiered
+// snapshots persist coarse instances the serving layer hands out as
+// standalone flat snapshots.
+type (
+	// Tower is the full Borůvka contraction tower of a decomposition:
+	// one contracted multigraph per phase boundary (set
+	// BoruvkaOptions.KeepTower).
+	Tower = boruvka.Tower
+	// TowerLevel is one level of the tower.
+	TowerLevel = boruvka.TowerLevel
+	// HierOptions select the tier levels (or a per-node advice-bit
+	// budget) for BuildAdviceTiers.
+	HierOptions = hier.HierOptions
+	// AdviceTier is one coarse tier carried by a version-3 snapshot:
+	// the contracted graph, its root, the original-edge hints and the
+	// coarse Theorem 3 advice.
+	AdviceTier = store.Tier
+	// TierReply is the serving layer's coarse-tier answer: a standalone
+	// flat snapshot any client of the flat scheme can decode.
+	TierReply = service.TierReply
+)
+
+// HierScheme returns the hierarchical advising scheme "mst-hier-l<level>"
+// for the given tower level (values below 1 clamp to 1, levels past the
+// last contraction clamp to the coarsest): shorter advice built from the
+// contraction tower, decoded by an unmodified local scheme in
+// HierRounds(n) rounds.
+func HierScheme(level int) Scheme { return hier.Scheme{Level: level} }
+
+// HierRounds returns the fixed, level-oblivious round count of the
+// hierarchical decoder on n nodes (the "extra decompression rounds"
+// axis of the bits-vs-rounds frontier, EXPERIMENTS.md E13).
+func HierRounds(n int) int { return hier.Rounds(n) }
+
+// BuildAdviceTiers builds the coarse snapshot tiers of g at the levels
+// (or bit budget) selected by opt, ready to attach to Snapshot.Tiers.
+func BuildAdviceTiers(g *Graph, root NodeID, opt HierOptions) ([]AdviceTier, error) {
+	return hier.BuildTiers(g, root, opt)
 }
 
 // Generator re-exports. All take an explicit random source and reproduce
