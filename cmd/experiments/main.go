@@ -22,6 +22,10 @@
 //	                                  # hierarchical advice: bits-vs-rounds
 //	                                  # frontier, tier vs flat snapshot bytes
 //	                                  # (n up to 10⁶)
+//	experiments -bench-replica BENCH_replica.json
+//	                                  # replicated serving tier: failover
+//	                                  # client under kill/restart chaos,
+//	                                  # catch-up time, zero-wrong-answers
 //	experiments -bench-oracle /tmp/now.json -sizes 10000 \
 //	            -bench-baseline BENCH_oracle.json
 //	                                  # CI smoke: fail on >2x regression
@@ -29,10 +33,10 @@
 //	                                  # profile any bench run with pprof
 //
 // With -bench-sim / -bench-oracle / -bench-service / -bench-async /
-// -bench-topo / -bench-hier the
+// -bench-topo / -bench-hier / -bench-replica the
 // command skips the tables, runs the corresponding benchmark (see
 // internal/experiments: SimBench, OracleBench, ServiceBench, AsyncBench,
-// TopoBench)
+// TopoBench, HierBench, ReplicaBench)
 // and writes the rows as JSON. Running it with the
 // committed file names regenerates the in-tree perf trajectory;
 // -bench-baseline additionally compares the fresh rows against a
@@ -64,6 +68,7 @@ func main() {
 		benchAsync     = flag.String("bench-async", "", "run the asynchronous-mode benchmark and write JSON to this file instead of tables")
 		benchTopo      = flag.String("bench-topo", "", "run the topology-recognition benchmark and write JSON to this file instead of tables")
 		benchHier      = flag.String("bench-hier", "", "run the hierarchical-advice benchmark and write JSON to this file instead of tables")
+		benchReplica   = flag.String("bench-replica", "", "run the replicated-serving-tier chaos benchmark and write JSON to this file instead of tables")
 		cpuProfile     = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile     = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		serviceQueries = flag.Int("service-queries", 0, "closed-loop query count per -bench-service row (0 = default)")
@@ -113,10 +118,10 @@ func main() {
 			}
 		}()
 	}
-	if *benchBase != "" && *benchSim == "" && *benchOracle == "" && *benchService == "" && *benchAsync == "" && *benchTopo == "" && *benchHier == "" {
-		fail("-bench-baseline needs -bench-sim, -bench-oracle, -bench-service, -bench-async, -bench-topo and/or -bench-hier to produce rows to compare")
+	if *benchBase != "" && *benchSim == "" && *benchOracle == "" && *benchService == "" && *benchAsync == "" && *benchTopo == "" && *benchHier == "" && *benchReplica == "" {
+		fail("-bench-baseline needs -bench-sim, -bench-oracle, -bench-service, -bench-async, -bench-topo, -bench-hier and/or -bench-replica to produce rows to compare")
 	}
-	if *benchSim != "" || *benchOracle != "" || *benchService != "" || *benchAsync != "" || *benchTopo != "" || *benchHier != "" {
+	if *benchSim != "" || *benchOracle != "" || *benchService != "" || *benchAsync != "" || *benchTopo != "" || *benchHier != "" || *benchReplica != "" {
 		// Read the baseline before any bench writes its rows: the output
 		// path may BE the committed baseline (one step regenerates the
 		// artifact and gates it against the committed state in a single
@@ -175,6 +180,14 @@ func main() {
 				fail("%v", err)
 			}
 			fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), *benchHier)
+			all = append(all, rows...)
+		}
+		if *benchReplica != "" {
+			rows := experiments.ReplicaBench(cfg)
+			if err := experiments.WriteBench(*benchReplica, rows); err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), *benchReplica)
 			all = append(all, rows...)
 		}
 		if *benchBase != "" {

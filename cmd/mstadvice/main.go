@@ -13,7 +13,17 @@
 //	mstadvice -load run.mstadv                       # rerun on the stored instance
 //	mstadvice -async -family random -n 256           # asynchronous execution
 //	mstadvice -async -sched lifo -lat 1:32 -n 256    # adversarial delivery
+//	mstadvice -endpoints host1:9371,host2:9372 -id big -node 42
 //	mstadvice -list
+//
+// -endpoints switches to the replicated-serving client (DESIGN.md
+// §2.10): instead of running a scheme locally, it reads one node's
+// advice from a set of mstadviced replication endpoints through
+// replica.Client — round-robin load balancing, failover on connection
+// error or stale epoch, capped jittered backoff, and graceful
+// degradation to a coarse tier snapshot when only tier-only
+// (memory-pressured) endpoints answer. -id names the graph; -node picks
+// the node (omit it to print just the graph's current epoch).
 //
 // -async replays the scheme's unmodified decoder on the event-driven
 // asynchronous engine under the α-synchronizer (DESIGN.md §2.7): -lat
@@ -28,11 +38,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"slices"
+	"strings"
 	"time"
 
 	"mstadvice"
@@ -42,6 +54,7 @@ import (
 	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
 	"mstadvice/internal/problem"
+	"mstadvice/internal/replica"
 	"mstadvice/internal/report"
 	"mstadvice/internal/store"
 )
@@ -65,8 +78,16 @@ func main() {
 		schedName   = flag.String("sched", "fifo", "asynchronous delivery policy: fifo | lifo | maxdelay")
 		latRange    = flag.String("lat", "1:8", "asynchronous per-message latency range min:max (uniform, seeded)")
 		latSeed     = flag.Int64("lat-seed", 1, "asynchronous latency seed")
+		endpoints   = flag.String("endpoints", "", "comma-separated mstadviced replication endpoints: query the serving tier with failover instead of running a scheme")
+		graphID     = flag.String("id", "", "graph ID to query with -endpoints")
+		node        = flag.Int("node", -1, "node whose advice to read with -endpoints (-1: print the graph's epoch only)")
 	)
 	flag.Parse()
+
+	if *endpoints != "" {
+		queryEndpoints(*endpoints, *graphID, *node)
+		return
+	}
 
 	if *list {
 		fmt.Println("problems and their schemes:")
@@ -296,6 +317,47 @@ func main() {
 		exact, paper := mstadvice.ConstantAdviceRounds(res.N)
 		fmt.Printf("round bounds  schedule %d, paper 9⌈log n⌉ = %d\n", exact, paper)
 	}
+}
+
+// queryEndpoints is the -endpoints mode: one failover read against the
+// replicated serving tier, degrading to a coarse tier snapshot when no
+// endpoint serves full advice.
+func queryEndpoints(spec, id string, node int) {
+	if id == "" {
+		fail("-endpoints needs -id")
+	}
+	var eps []string
+	for _, ep := range strings.Split(spec, ",") {
+		if ep = strings.TrimSpace(ep); ep != "" {
+			eps = append(eps, ep)
+		}
+	}
+	c, err := replica.NewClient(eps, replica.ClientOptions{})
+	if err != nil {
+		fail("%v", err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if node < 0 {
+		epoch, err := c.Epoch(ctx, id)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("graph   %s\nepoch   %d\n", id, epoch)
+		return
+	}
+	ans, err := c.AdviceDegraded(ctx, id, node)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("graph   %s\nnode    %d\nepoch   %d\n", id, node, ans.Epoch)
+	if ans.Degraded {
+		fmt.Printf("advice  unavailable (all endpoints tier-only); degraded to tier level %d: n=%d, m=%d\n",
+			ans.TierLevel, ans.Tier.Graph.N(), ans.Tier.Graph.M())
+		return
+	}
+	fmt.Printf("advice  %d bits: %s\n", ans.Bits.Len(), ans.Bits)
 }
 
 // printSensitivity renders the per-edge tolerance analysis: aggregate

@@ -12,9 +12,30 @@
 //	curl -X POST localhost:8371/v1/graphs/big/update \
 //	     -d '{"weights":[{"edge":3,"w":999}]}'
 //
-// SIGINT/SIGTERM drain the server: in-flight decode and update work is
-// canceled at round/batch granularity (advice.RunCtx,
-// dynamic.Advisor.UpdateCtx) instead of leaking until completion.
+// Replication (DESIGN.md §2.10): -epoch-log makes every published epoch
+// durable (CRC-framed records, fsynced before the publishing call
+// returns) and replays the log on restart, so the daemon comes back at
+// exactly the epochs it had acknowledged. -replica-listen serves the
+// binary replication protocol — advice/tier/info reads plus the log
+// tail stream — and -replicate-from turns the daemon into a follower
+// that tails a primary's log instead of loading graphs itself:
+//
+//	mstadviced -epoch-log primary.elog -replica-listen :9371 -graph big=random:100000
+//	mstadviced -epoch-log replica.elog -replica-listen :9372 \
+//	           -replicate-from primary:9371
+//	mstadvice  -endpoints primary:9371,replica:9372 -id big -node 42
+//
+// A follower's HTTP surface stays up for reads; pushing updates at a
+// follower forks its history from the primary's, so point writers at
+// the primary only. -tier-only serves the degraded memory-pressure mode
+// on the replication endpoint: full advice reads are refused with the
+// degraded code and clients fall back to coarse tier snapshots.
+//
+// SIGINT/SIGTERM drain the server: the listener closes at once (new
+// connections are refused), in-flight requests run to completion, and
+// only an expired -drain deadline cancels what remains (advice.RunCtx,
+// dynamic.Advisor.UpdateCtx check their context at round/batch
+// granularity). A clean drain exits 0.
 package main
 
 import (
@@ -35,6 +56,7 @@ import (
 	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
 	"mstadvice/internal/problem"
+	"mstadvice/internal/replica"
 	"mstadvice/internal/service"
 	"mstadvice/internal/store"
 )
@@ -52,6 +74,12 @@ func main() {
 		graphs     repeatable
 		allowPaths = flag.Bool("allow-path-register", true, "allow POST /v1/graphs to load snapshots from server-side paths")
 		probName   = flag.String("problem", "mst", "advice problem for -graph generated instances (see internal/problem; loaded snapshots carry their own)")
+
+		epochLog      = flag.String("epoch-log", "", "durable epoch log: replayed on startup, then every published epoch is appended (fsynced) to it")
+		replicaListen = flag.String("replica-listen", "", "serve the binary replication protocol (advice/tier/info reads + epoch-log tail) on this address")
+		replicateFrom = flag.String("replicate-from", "", "follower mode: tail the primary's epoch log at this address instead of loading graphs")
+		tierOnly      = flag.Bool("tier-only", false, "degraded mode for -replica-listen: refuse full advice reads, serve coarse tiers only")
+		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Var(&loads, "load", "register a stored snapshot: id=path (repeatable)")
 	flag.Var(&graphs, "graph", "register a generated instance: id=family:n[:seed] (repeatable)")
@@ -61,48 +89,115 @@ func main() {
 		fail("%v", err)
 	}
 	svc := service.New()
-	for _, spec := range loads {
-		id, path, ok := strings.Cut(spec, "=")
-		if !ok || id == "" || path == "" {
-			fail("bad -load %q (want id=path)", spec)
-		}
-		start := time.Now()
-		snap, err := store.OpenMapped(path)
-		if err != nil {
-			fail("%v", err)
-		}
-		if err := svc.Register(id, snap); err != nil {
-			fail("%v", err)
-		}
-		fmt.Printf("loaded %s: problem=%s n=%d m=%d in %v\n", id, snap.Problem, snap.Graph.N(), snap.Graph.M(), time.Since(start).Round(time.Millisecond))
-	}
-	for _, spec := range graphs {
-		id, snap, err := generateSpec(spec, *probName)
-		if err != nil {
-			fail("%v", err)
-		}
-		if err := svc.Register(id, snap); err != nil {
-			fail("%v", err)
-		}
-		fmt.Printf("generated %s: n=%d m=%d\n", id, snap.Graph.N(), snap.Graph.M())
+
+	// The epoch log is the replication substrate; without -epoch-log it
+	// is purely in-memory, which still lets -replica-listen stream the
+	// history accumulated since startup.
+	elog, err := replica.OpenLog(*epochLog)
+	if err != nil {
+		fail("%v", err)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// workCtx is the base context of every request and of the follower's
+	// tail loop. It deliberately outlives the termination signal: the
+	// drain lets in-flight work finish, and only an expired -drain
+	// deadline cancels what remains.
+	workCtx, shed := context.WithCancel(context.Background())
+	defer shed()
+
+	if *replicateFrom != "" {
+		if len(loads)+len(graphs) > 0 {
+			fail("-replicate-from is exclusive with -load/-graph: a follower's graphs come from the primary's log")
+		}
+		rep := replica.NewReplica(svc, *replicateFrom, replica.ReplicaOptions{Log: elog})
+		if err := rep.ReplayLocal(); err != nil {
+			fail("%v", err)
+		}
+		if n := elog.Len(); n > 0 {
+			fmt.Printf("replayed %d epoch-log records (%d graphs)\n", n, len(svc.List()))
+		}
+		go rep.Run(workCtx)
+		fmt.Printf("following primary at %s\n", *replicateFrom)
+	} else {
+		if err := elog.Replay(svc); err != nil {
+			fail("%v", err)
+		}
+		if n := elog.Len(); n > 0 {
+			fmt.Printf("replayed %d epoch-log records (%d graphs)\n", n, len(svc.List()))
+		}
+		// Attach after replay (replayed records must not re-append) and
+		// before registration (new graphs' epoch 0 must be logged).
+		elog.Attach(svc)
+		for _, spec := range loads {
+			id, path, ok := strings.Cut(spec, "=")
+			if !ok || id == "" || path == "" {
+				fail("bad -load %q (want id=path)", spec)
+			}
+			if _, err := svc.InfoFor(id); err == nil {
+				fmt.Printf("skipping -load %s: already restored from the epoch log\n", id)
+				continue
+			}
+			start := time.Now()
+			snap, err := store.OpenMapped(path)
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := svc.Register(id, snap); err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("loaded %s: problem=%s n=%d m=%d in %v\n", id, snap.Problem, snap.Graph.N(), snap.Graph.M(), time.Since(start).Round(time.Millisecond))
+		}
+		for _, spec := range graphs {
+			id, snap, err := generateSpec(spec, *probName)
+			if err != nil {
+				fail("%v", err)
+			}
+			if _, err := svc.InfoFor(id); err == nil {
+				fmt.Printf("skipping -graph %s: already restored from the epoch log\n", id)
+				continue
+			}
+			if err := svc.Register(id, snap); err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("generated %s: n=%d m=%d\n", id, snap.Graph.N(), snap.Graph.M())
+		}
+	}
+
+	if *replicaListen != "" {
+		rsrv := replica.NewServer(svc, elog, replica.ServerOptions{TierOnly: *tierOnly})
+		if err := rsrv.Listen(*replicaListen); err != nil {
+			fail("%v", err)
+		}
+		defer rsrv.Close()
+		mode := ""
+		if *tierOnly {
+			mode = " (tier-only degraded mode)"
+		}
+		fmt.Printf("replication protocol on %s%s\n", rsrv.Addr(), mode)
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	srv := &http.Server{
-		Addr:    *listen,
 		Handler: service.NewHandler(svc, *allowPaths),
-		// Per-request contexts inherit the daemon's: a shutdown cancels
-		// in-flight decodes and updates, which check it between rounds
-		// and before recomputes.
-		BaseContext: func(net.Listener) context.Context { return ctx },
+		// Per-request contexts inherit workCtx, not the signal context:
+		// a drain is the listener refusing new work while outstanding
+		// decodes and updates complete.
+		BaseContext: func(net.Listener) context.Context { return workCtx },
 	}
+
+	// Listen explicitly so the banner carries the bound address even for
+	// ":0" — the drain test (and scripts) parse it from stdout.
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("mstadviced listening on %s (%d graphs)\n", ln.Addr(), len(svc.List()))
 
 	done := make(chan error, 1)
 	go func() {
-		fmt.Printf("mstadviced listening on %s (%d graphs)\n", *listen, len(svc.List()))
-		err := srv.ListenAndServe()
+		err := srv.Serve(ln)
 		if !errors.Is(err, http.ErrServerClosed) {
 			done <- err
 			return
@@ -111,14 +206,19 @@ func main() {
 	}()
 
 	select {
-	case <-ctx.Done():
-		fmt.Println("mstadviced: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	case <-sigCtx.Done():
+		fmt.Println("mstadviced: draining")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fail("shutdown: %v", err)
+		err := srv.Shutdown(drainCtx)
+		// Whatever outlived the deadline (and the follower's tail loop)
+		// is shed now; a clean drain saw everything finish already.
+		shed()
+		if err != nil {
+			fail("drain: %v", err)
 		}
 		<-done
+		fmt.Println("mstadviced: drained")
 	case err := <-done:
 		if err != nil {
 			fail("%v", err)

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSIGTERMDrain pins the daemon's shutdown contract: under an
+// in-flight request, SIGTERM closes the listener at once (new
+// connections are refused), lets the outstanding request run to
+// completion, and exits 0 within the drain deadline.
+func TestSIGTERMDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "mstadviced")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// The graph is large enough that its first decode (the full scheme
+	// run) spans hundreds of milliseconds — the window the SIGTERM must
+	// land in for the drain to be observable.
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0", "-graph", "demo=random:20000:7", "-drain", "30s")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	addr, err := scanListenAddr(stdout)
+	if err != nil {
+		t.Fatalf("%v; stderr: %s", err, stderr.String())
+	}
+	go io.Copy(io.Discard, stdout)
+
+	type result struct {
+		code int
+		n    int
+		err  error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/v1/graphs/demo/decode", addr))
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		inflight <- result{code: resp.StatusCode, n: len(body), err: err}
+	}()
+
+	// Let the request reach the handler, then pull the trigger.
+	time.Sleep(100 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	// The listener must be gone while (or after) the in-flight request
+	// drains.
+	if conn, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		conn.Close()
+		t.Error("new connection accepted after SIGTERM; the listener should be closed")
+	}
+
+	r := <-inflight
+	if r.err != nil {
+		t.Errorf("in-flight request aborted by SIGTERM: %v", r.err)
+	} else if r.code != http.StatusOK || r.n == 0 {
+		t.Errorf("in-flight request = %d (%d body bytes), want a complete 200", r.code, r.n)
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Errorf("daemon exited non-zero after drain: %v; stderr: %s", err, stderr.String())
+	}
+}
+
+// scanListenAddr reads the daemon's stdout until the listen banner and
+// returns the bound address.
+func scanListenAddr(stdout io.Reader) (string, error) {
+	re := regexp.MustCompile(`mstadviced listening on (\S+)`)
+	buf := make([]byte, 4096)
+	var seen strings.Builder
+	for {
+		n, err := stdout.Read(buf)
+		seen.Write(buf[:n])
+		if m := re.FindStringSubmatch(seen.String()); m != nil {
+			return m[1], nil
+		}
+		if err != nil {
+			return "", fmt.Errorf("daemon exited before the listen banner (stdout %q): %w", seen.String(), err)
+		}
+	}
+}

@@ -41,6 +41,11 @@ var facadeFor = map[string]any{
 	"hier.Scheme.NewNode":          mstadvice.HierScheme,
 	"hier.BuildTiers":              mstadvice.BuildAdviceTiers,
 	"service.Service.TierSnapshot": (*mstadvice.AdviceService).TierSnapshot,
+	"replica.Log.Attach":           (*mstadvice.EpochLog).Attach,
+	"replica.Replica.Run":          (*mstadvice.Replica).Run,
+	"replica.Client.Advice":        (*mstadvice.ReplicaClient).Advice,
+	"chaos.Proxy":                  mstadvice.NewChaosProxy,
+	"chaos.Schedule":               mstadvice.ChaosSchedule{},
 }
 
 // symbolRe matches backtick-quoted internal symbols of the form

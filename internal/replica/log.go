@@ -1,0 +1,235 @@
+package replica
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"mstadvice/internal/service"
+	"mstadvice/internal/store"
+)
+
+// EpochRecord is one entry of the epoch log: a graph's epoch as a fully
+// self-contained encoded snapshot. Blob is store.Encode output — graph,
+// root, problem, cap, advice, tiers — so a replica (or a restarted
+// primary) rebuilds the exact published epoch without an oracle run.
+type EpochRecord struct {
+	ID   string
+	Seq  uint64
+	Blob []byte
+}
+
+// appendPayload serializes the record into the log/wire payload layout:
+// id, seq, snapshot blob.
+func (r *EpochRecord) appendPayload(buf []byte) []byte {
+	buf = appendString(buf, r.ID)
+	buf = binary.AppendUvarint(buf, r.Seq)
+	return append(buf, r.Blob...)
+}
+
+func parseRecord(payload []byte) (EpochRecord, error) {
+	c := &cursor{b: payload}
+	id, err := c.str("record graph ID")
+	if err != nil {
+		return EpochRecord{}, err
+	}
+	seq, err := c.uvarint("record epoch")
+	if err != nil {
+		return EpochRecord{}, err
+	}
+	return EpochRecord{ID: id, Seq: seq, Blob: c.rest()}, nil
+}
+
+// Log is the append-only epoch history: every record is framed with the
+// store record codec (varint length + CRC32 per record, DESIGN.md
+// §2.10), held in memory for serving and — when opened with a path —
+// appended durably with an fsync per record. Opening an existing file
+// replays its records and truncates a torn tail (a crash mid-append)
+// at the first damaged record, so the log's readable prefix is always
+// a consistent prefix of the publication history.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File // nil for an in-memory log
+	recs   []EpochRecord
+	notify chan struct{} // closed and replaced on every append
+}
+
+// OpenLog opens (or creates) the durable epoch log at path; an empty
+// path yields a purely in-memory log.
+func OpenLog(path string) (*Log, error) {
+	l := &Log{notify: make(chan struct{})}
+	if path == "" {
+		return l, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	good := 0
+	if len(data) > 0 {
+		under := bytes.NewReader(data)
+		br := bufio.NewReader(under)
+		for {
+			payload, err := store.ReadRecord(br)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// Torn tail: keep the clean prefix, drop the damaged rest.
+				break
+			}
+			rec, err := parseRecord(payload)
+			if err != nil {
+				break
+			}
+			l.recs = append(l.recs, rec)
+			good = len(data) - br.Buffered() - under.Len()
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(good)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.f = f
+	return l, nil
+}
+
+// Append adds one record: framed bytes hit the file (fsynced) before
+// the record becomes visible to readers and tailing subscribers, so a
+// replica can never observe an epoch the primary could lose in a crash.
+func (l *Log) Append(rec EpochRecord) error {
+	frame := store.AppendRecord(nil, rec.appendPayload(nil))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		if _, err := l.f.Write(frame); err != nil {
+			return err
+		}
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	l.recs = append(l.recs, rec)
+	close(l.notify)
+	l.notify = make(chan struct{})
+	return nil
+}
+
+// AppendEpoch encodes a published epoch into a record and appends it —
+// the service.OnPublish hook body of a primary (see Attach).
+func (l *Log) AppendEpoch(id string, ep *service.Epoch) error {
+	blob, err := store.Encode(&store.Snapshot{
+		Problem: ep.Problem,
+		Graph:   ep.Graph,
+		Root:    ep.Root,
+		Cap:     ep.Cap,
+		Advice:  ep.Advice,
+		Tiers:   ep.Tiers,
+	})
+	if err != nil {
+		return fmt.Errorf("replica: encoding epoch %d of %q: %w", ep.Seq, id, err)
+	}
+	return l.Append(EpochRecord{ID: id, Seq: ep.Seq, Blob: blob})
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// At returns record i.
+func (l *Log) At(i int) EpochRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recs[i]
+}
+
+// WaitFor blocks until record i exists (true) or stop closes (false).
+func (l *Log) WaitFor(i int, stop <-chan struct{}) bool {
+	for {
+		l.mu.Lock()
+		if i < len(l.recs) {
+			l.mu.Unlock()
+			return true
+		}
+		ch := l.notify
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-stop:
+			return false
+		}
+	}
+}
+
+// Replay restores the service to the state the log ends at — the
+// restart path of a daemon with a durable -epoch-log: the service comes
+// back at exactly the epoch (number and content) it had published
+// before the crash. Every record is a complete snapshot, not a diff, so
+// only the last record of each graph is decoded and published;
+// recovery time is bounded by the number of graphs, not the length of
+// the epoch history.
+func (l *Log) Replay(svc *service.Service) error {
+	l.mu.Lock()
+	recs := l.recs
+	l.mu.Unlock()
+	last := make(map[string]int, 8)
+	for i := range recs {
+		last[recs[i].ID] = i
+	}
+	for i := range recs {
+		if last[recs[i].ID] != i {
+			continue
+		}
+		snap, err := store.Decode(recs[i].Blob)
+		if err != nil {
+			return fmt.Errorf("replica: log record %d (%s@%d): %w", i, recs[i].ID, recs[i].Seq, err)
+		}
+		if err := svc.Publish(recs[i].ID, snap, recs[i].Seq); err != nil {
+			return fmt.Errorf("replica: log record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Attach subscribes the log to a service's epoch publications: every
+// epoch the service publishes from now on is appended (and fsynced)
+// before the publishing call returns. Attach before registering graphs,
+// or the log misses their epoch 0.
+func (l *Log) Attach(svc *service.Service) {
+	svc.OnPublish(func(id string, ep *service.Epoch) {
+		// The hook runs under the entry's writer lock, so append errors
+		// cannot be returned to the updater; a primary that cannot
+		// persist its log must not silently keep publishing. Panic — the
+		// daemon treats a dead log volume as fatal.
+		if err := l.AppendEpoch(id, ep); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// Close releases the file handle (in-memory logs are a no-op).
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,277 @@
+package replica
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"sync"
+	"time"
+
+	"mstadvice/internal/service"
+	"mstadvice/internal/store"
+)
+
+// writeTimeout bounds every frame write so a wedged peer cannot pin a
+// server goroutine forever.
+const writeTimeout = 10 * time.Second
+
+// ServerOptions tune one serving endpoint.
+type ServerOptions struct {
+	// TierOnly is the memory-pressure degraded mode: the endpoint
+	// refuses full advice queries with the degraded wire code and serves
+	// only coarse tier snapshots, the Balliu-style local-decompression
+	// trade (PAPERS.md) — the client pays extra decoder rounds instead
+	// of the full snapshot's memory.
+	TierOnly bool
+}
+
+// Server serves a service's epochs over the binary wire protocol: point
+// queries (advice, tier, info) and the epoch-log tail stream replicas
+// follow. A primary runs it with the log its service publishes into; a
+// replica runs it with a nil log (or its own copy) to serve reads.
+type Server struct {
+	svc  *service.Service
+	log  *Log
+	opts ServerOptions
+
+	ln   net.Listener
+	stop chan struct{}
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a service (and optionally its epoch log, required for
+// tail subscriptions) for wire serving.
+func NewServer(svc *service.Service, log *Log, opts ServerOptions) *Server {
+	return &Server{svc: svc, log: log, opts: opts, stop: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts the accept loop.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close hard-stops the endpoint: the listener and every open connection
+// die immediately — the "kill a replica mid-run" primitive the chaos
+// harness uses. In-flight answers are cut, exactly as a crash would.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stop)
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		payload, err := store.ReadRecord(br)
+		if err != nil {
+			return
+		}
+		if len(payload) == 0 {
+			return
+		}
+		c := &cursor{b: payload[1:]}
+		var reply []byte
+		switch payload[0] {
+		case opAdvice:
+			reply = s.handleAdvice(c)
+		case opTier:
+			reply = s.handleTier(c)
+		case opInfo:
+			reply = s.handleInfo(c)
+		case opTail:
+			s.streamLog(conn, c)
+			return
+		default:
+			reply = errReply(codeBad, "unknown opcode")
+		}
+		if !s.writeFrame(conn, reply) {
+			return
+		}
+	}
+}
+
+func (s *Server) writeFrame(conn net.Conn, payload []byte) bool {
+	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	_, err := conn.Write(store.AppendRecord(nil, payload))
+	return err == nil
+}
+
+func errReply(code uint64, msg string) []byte {
+	buf := []byte{rErr}
+	buf = binary.AppendUvarint(buf, code)
+	return appendString(buf, msg)
+}
+
+func (s *Server) handleAdvice(c *cursor) []byte {
+	id, err := c.str("graph ID")
+	if err != nil {
+		return errReply(codeBad, err.Error())
+	}
+	node, err := c.uvarint("node")
+	if err != nil {
+		return errReply(codeBad, err.Error())
+	}
+	if s.opts.TierOnly {
+		return errReply(codeDegraded, "endpoint serves only coarse tiers")
+	}
+	bits, epoch, err := s.svc.AdviceBits(id, int(node))
+	if err != nil {
+		return serviceErrReply(err)
+	}
+	buf := []byte{rOK}
+	buf = binary.AppendUvarint(buf, epoch)
+	buf = binary.AppendUvarint(buf, uint64(bits.Len()))
+	return append(buf, packBits(bits)...)
+}
+
+func (s *Server) handleTier(c *cursor) []byte {
+	id, err := c.str("graph ID")
+	if err != nil {
+		return errReply(codeBad, err.Error())
+	}
+	level, err := c.uvarint("tier level")
+	if err != nil {
+		return errReply(codeBad, err.Error())
+	}
+	tier, epoch, err := s.svc.Tier(id, int(level))
+	if err != nil {
+		return serviceErrReply(err)
+	}
+	ep, err := s.svc.Epoch(id)
+	if err != nil {
+		return serviceErrReply(err)
+	}
+	blob, err := store.Encode(&store.Snapshot{
+		Problem: ep.Problem, Graph: tier.Graph, Root: tier.Root,
+		Cap: ep.Cap, Advice: tier.Advice, Version: 2,
+	})
+	if err != nil {
+		return errReply(codeBad, err.Error())
+	}
+	buf := []byte{rOK}
+	buf = binary.AppendUvarint(buf, uint64(tier.Level))
+	buf = binary.AppendUvarint(buf, epoch)
+	return append(buf, blob...)
+}
+
+func (s *Server) handleInfo(c *cursor) []byte {
+	id, err := c.str("graph ID")
+	if err != nil {
+		return errReply(codeBad, err.Error())
+	}
+	ep, err := s.svc.Epoch(id)
+	if err != nil {
+		return serviceErrReply(err)
+	}
+	buf := []byte{rOK}
+	buf = binary.AppendUvarint(buf, ep.Seq)
+	buf = binary.AppendUvarint(buf, uint64(ep.Graph.N()))
+	buf = binary.AppendUvarint(buf, uint64(ep.Graph.M()))
+	if s.opts.TierOnly {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func serviceErrReply(err error) []byte {
+	if service.IsNotFound(err) {
+		return errReply(codeNotFound, err.Error())
+	}
+	return errReply(codeBad, err.Error())
+}
+
+// streamLog serves a tail subscription: every log record from the
+// requested index onward, then each new record as it is appended, until
+// the connection dies or the server closes. Records ship in log order
+// on one connection — the transport-level half of the consistent-prefix
+// guarantee.
+func (s *Server) streamLog(conn net.Conn, c *cursor) {
+	if s.log == nil {
+		s.writeFrame(conn, errReply(codeBad, "endpoint serves no epoch log"))
+		return
+	}
+	after, err := c.uvarint("tail index")
+	if err != nil {
+		s.writeFrame(conn, errReply(codeBad, err.Error()))
+		return
+	}
+	for i := int(after); ; i++ {
+		if !s.log.WaitFor(i, s.stop) {
+			return
+		}
+		rec := s.log.At(i)
+		if !s.writeFrame(conn, rec.appendPayload(nil)) {
+			return
+		}
+	}
+}

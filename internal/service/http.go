@@ -245,12 +245,12 @@ func snapshotFor(req *registerRequest, allowPaths bool) (*store.Snapshot, error)
 	}
 }
 
-// statusFor maps service errors onto HTTP statuses: unknown graphs are
-// 404, cancellations 503, everything else 400.
+// statusFor maps service errors onto HTTP statuses: unknown graphs and
+// tiers are 404, cancellations 503, everything else 400 — a client
+// mistake is never a 500 (pinned by TestHTTPErrorCodes).
 func statusFor(err error) int {
 	switch {
-	case strings.Contains(err.Error(), "unknown graph"),
-		strings.Contains(err.Error(), "has no tier"):
+	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable

@@ -2,11 +2,14 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"mstadvice/internal/store"
@@ -173,5 +176,103 @@ func TestHTTPRegisterValidation(t *testing.T) {
 		if code := doJSON(t, srv, "POST", "/v1/graphs", body, nil); code != http.StatusBadRequest {
 			t.Errorf("%s: register = %d, want 400", name, code)
 		}
+	}
+}
+
+// TestHTTPCanceledRequest pins request-context propagation through the
+// handlers: a request whose context is already canceled when the
+// handler runs (a disconnected client, or a shutdown past the drain
+// deadline) answers 503 with a JSON error body — and does none of the
+// decode or update work it was asking for.
+func TestHTTPCanceledRequest(t *testing.T) {
+	svc := New()
+	if err := svc.Register("g", makeSnapshot(t, 64, 192, 9)); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(svc, false)
+	for _, tc := range []struct{ method, path, body string }{
+		{"GET", "/v1/graphs/g/decode", ""},
+		{"GET", "/v1/graphs/g/verify", ""},
+		{"POST", "/v1/graphs/g/update", `{"weights":[{"edge":1,"w":777}]}`},
+	} {
+		var body io.Reader
+		if tc.body != "" {
+			body = strings.NewReader(tc.body)
+		}
+		req := httptest.NewRequest(tc.method, tc.path, body)
+		ctx, cancel := context.WithCancel(req.Context())
+		cancel()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req.WithContext(ctx))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s %s with canceled context = %d, want 503 (body %s)", tc.method, tc.path, rec.Code, rec.Body)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+			t.Errorf("%s %s: body %q is not a JSON error object", tc.method, tc.path, rec.Body)
+		}
+	}
+	if st := svc.StatsNow(); st.Decodes != 0 || st.Updates != 0 {
+		t.Errorf("canceled requests did work anyway: %+v", st)
+	}
+}
+
+// TestHTTPErrorCodes is the error-code audit: every client mistake —
+// malformed JSON, unknown graphs, bad parameters, conflicting
+// registrations — answers a 4xx with a JSON error body, never a 500.
+func TestHTTPErrorCodes(t *testing.T) {
+	svc := New()
+	if err := svc.Register("g", makeSnapshot(t, 64, 192, 9)); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(svc, false)
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"register malformed JSON", "POST", "/v1/graphs", `{"id": `, 400},
+		{"register without source", "POST", "/v1/graphs", `{"id":"x"}`, 400},
+		{"register path disabled", "POST", "/v1/graphs", `{"id":"x","path":"/etc/passwd"}`, 400},
+		{"register path and family", "POST", "/v1/graphs", `{"id":"x","path":"a","family":"random","n":8}`, 400},
+		{"register unknown family", "POST", "/v1/graphs", `{"id":"x","family":"nope","n":8}`, 400},
+		{"register unknown problem", "POST", "/v1/graphs", `{"id":"x","family":"random","n":8,"problem":"nope"}`, 400},
+		{"register unknown weights", "POST", "/v1/graphs", `{"id":"x","family":"random","n":8,"weights":"nope"}`, 400},
+		{"register root out of range", "POST", "/v1/graphs", `{"id":"x","family":"random","n":8,"root":9999}`, 400},
+		{"register duplicate", "POST", "/v1/graphs", `{"id":"g","family":"random","n":8}`, 409},
+		{"info unknown graph", "GET", "/v1/graphs/nope", "", 404},
+		{"drop unknown graph", "DELETE", "/v1/graphs/nope", "", 404},
+		{"advice missing node", "GET", "/v1/graphs/g/advice", "", 400},
+		{"advice bad node", "GET", "/v1/graphs/g/advice?node=abc", "", 400},
+		{"advice node out of range", "GET", "/v1/graphs/g/advice?node=9999", "", 400},
+		{"advice unknown graph", "GET", "/v1/graphs/nope/advice?node=0", "", 404},
+		{"tier bad level", "GET", "/v1/graphs/g/tier?level=abc", "", 400},
+		{"tier unknown graph", "GET", "/v1/graphs/nope/tier", "", 404},
+		{"tier absent", "GET", "/v1/graphs/g/tier?level=3", "", 404},
+		{"decode unknown graph", "GET", "/v1/graphs/nope/decode", "", 404},
+		{"verify unknown graph", "GET", "/v1/graphs/nope/verify", "", 404},
+		{"update malformed JSON", "POST", "/v1/graphs/g/update", `{"weights":`, 400},
+		{"update unknown graph", "POST", "/v1/graphs/nope/update", `{}`, 404},
+		{"update bad edge", "POST", "/v1/graphs/g/update", `{"weights":[{"edge":123456,"w":1}]}`, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body io.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			}
+			req := httptest.NewRequest(tc.method, tc.path, body)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != tc.want {
+				t.Fatalf("%s %s = %d, want %d (body %s)", tc.method, tc.path, rec.Code, tc.want, rec.Body)
+			}
+			if rec.Code >= 500 {
+				t.Fatalf("client mistake answered as a server error: %d", rec.Code)
+			}
+			var e map[string]string
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+				t.Fatalf("%s %s: body %q is not a JSON error object", tc.method, tc.path, rec.Body)
+			}
+		})
 	}
 }

@@ -37,6 +37,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"slices"
@@ -72,6 +73,11 @@ type Epoch struct {
 	// Problem is the advice problem this epoch's advice encodes
 	// (DESIGN.md §2.8); it never changes across updates of an entry.
 	Problem string
+	// Cap is the problem's scalar oracle parameter the advice was built
+	// with (store.Snapshot.Cap); constant across an entry's epochs. The
+	// replication layer needs it to encode an epoch back into a snapshot
+	// that rebuilds the same oracle (DESIGN.md §2.10).
+	Cap int
 	// Graph is a private snapshot; no advisor will ever patch it.
 	Graph *graph.Graph
 	// Root is the designated root (the MST root for mst, the flood
@@ -180,6 +186,41 @@ type Service struct {
 	queries atomic.Uint64
 	decodes atomic.Uint64
 	updates atomic.Uint64
+
+	// hookMu guards hooks; reads on the publish path take it shared.
+	hookMu sync.RWMutex
+	hooks  []func(id string, ep *Epoch)
+}
+
+// ErrNotFound marks lookups of graphs or tiers that are not registered;
+// the HTTP layer maps it to 404 and the replication client to its
+// not-found wire code. Test with errors.Is (or IsNotFound).
+var ErrNotFound = errors.New("not found")
+
+// IsNotFound reports whether err is a missing-graph or missing-tier
+// lookup failure.
+func IsNotFound(err error) bool { return errors.Is(err, ErrNotFound) }
+
+// OnPublish registers fn to run synchronously with every epoch
+// publication of every graph: the registered snapshot's epoch 0 and each
+// epoch an update (or an external Publish) installs. Calls for one graph
+// are ordered by epoch — the hook runs under the entry's writer lock —
+// so a subscriber sees a consistent prefix of the epoch history; hooks
+// must not call back into the publishing entry. Register hooks before
+// serving traffic: the list is append-only and never removed from.
+func (s *Service) OnPublish(fn func(id string, ep *Epoch)) {
+	s.hookMu.Lock()
+	defer s.hookMu.Unlock()
+	s.hooks = append(s.hooks, fn)
+}
+
+func (s *Service) firePublish(id string, ep *Epoch) {
+	s.hookMu.RLock()
+	hooks := s.hooks
+	s.hookMu.RUnlock()
+	for _, fn := range hooks {
+		fn(id, ep)
+	}
 }
 
 // New returns an empty service.
@@ -236,14 +277,85 @@ func (s *Service) Register(id string, snap *store.Snapshot) error {
 		return fmt.Errorf("service: %q has %d advice strings for %d nodes", id, len(adviceBits), snap.Graph.N())
 	}
 	e := &entry{id: id, cap: capBits, prob: prob}
-	e.cur.Store(&Epoch{Problem: probName, Graph: snap.Graph, Root: snap.Root, Advice: adviceBits, Tiers: snap.Tiers})
+	first := &Epoch{Problem: probName, Cap: capBits, Graph: snap.Graph, Root: snap.Root, Advice: adviceBits, Tiers: snap.Tiers}
+	e.cur.Store(first)
+	// The entry's writer lock is held across insertion and the publish
+	// hook so an update racing the registration cannot fire its hook
+	// before epoch 0's — subscribers see epochs in order.
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, dup := sh.entries[id]; dup {
+		sh.mu.Unlock()
 		return fmt.Errorf("service: graph %q already registered", id)
 	}
 	sh.entries[id] = e
+	sh.mu.Unlock()
+	s.firePublish(id, first)
+	return nil
+}
+
+// Publish installs an externally produced epoch — the replication
+// follower's apply path (DESIGN.md §2.10): a replica tails the primary's
+// epoch log and publishes each record through the same copy-on-write
+// swap local updates use, so its readers are wait-free and see a
+// consistent prefix of the primary's history. The snapshot must carry
+// its advice (a follower never re-runs the oracle — that could diverge)
+// and seq must extend the entry's history by exactly one; the first
+// publication of a graph accepts any seq (a log compacted or joined
+// mid-history still replays in order from its own first record).
+func (s *Service) Publish(id string, snap *store.Snapshot, seq uint64) error {
+	if snap == nil || snap.Graph == nil || snap.Graph.N() == 0 {
+		return fmt.Errorf("service: empty snapshot published for %q", id)
+	}
+	if snap.Advice == nil {
+		return fmt.Errorf("service: snapshot published for %q carries no advice", id)
+	}
+	if len(snap.Advice) != snap.Graph.N() {
+		return fmt.Errorf("service: %q has %d advice strings for %d nodes", id, len(snap.Advice), snap.Graph.N())
+	}
+	probName := snap.Problem
+	if probName == "" {
+		probName = mstp.Name
+	}
+	prob, err := problem.ByName(probName)
+	if err != nil {
+		return fmt.Errorf("service: publishing %q: %w", id, err)
+	}
+	ep := &Epoch{
+		Seq: seq, Problem: probName, Cap: snap.Cap,
+		Graph: snap.Graph, Root: snap.Root, Advice: snap.Advice, Tiers: snap.Tiers,
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	e := sh.entries[id]
+	if e == nil {
+		e = &entry{id: id, cap: snap.Cap, prob: prob}
+		e.cur.Store(ep)
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		sh.entries[id] = e
+		sh.mu.Unlock()
+		s.firePublish(id, ep)
+		return nil
+	}
+	sh.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	prev := e.cur.Load()
+	if prev.Problem != probName {
+		return fmt.Errorf("service: %q is registered for problem %q, publication says %q", id, prev.Problem, probName)
+	}
+	if seq != prev.Seq+1 {
+		return fmt.Errorf("service: %q is at epoch %d, publication of %d breaks the consistent prefix", id, prev.Seq, seq)
+	}
+	// An externally published epoch invalidates a locally built advisor:
+	// its live graph no longer matches the entry's history.
+	e.adv = nil
+	e.cur.Store(ep)
+	s.updates.Add(1)
+	s.firePublish(id, ep)
 	return nil
 }
 
@@ -266,7 +378,7 @@ func (s *Service) lookup(id string) (*entry, error) {
 	e := sh.entries[id]
 	sh.mu.RUnlock()
 	if e == nil {
-		return nil, fmt.Errorf("service: unknown graph %q", id)
+		return nil, fmt.Errorf("service: unknown graph %q: %w", id, ErrNotFound)
 	}
 	return e, nil
 }
@@ -352,7 +464,7 @@ func (s *Service) Tier(id string, level int) (*store.Tier, uint64, error) {
 // tier with other epoch state never straddle an update.
 func tierOf(ep *Epoch, id string, level int) (*store.Tier, error) {
 	if len(ep.Tiers) == 0 {
-		return nil, fmt.Errorf("service: graph %q has no tiers", id)
+		return nil, fmt.Errorf("service: graph %q has no tiers: %w", id, ErrNotFound)
 	}
 	if level <= 0 {
 		return &ep.Tiers[len(ep.Tiers)-1], nil
@@ -362,7 +474,7 @@ func tierOf(ep *Epoch, id string, level int) (*store.Tier, error) {
 			return &ep.Tiers[i], nil
 		}
 	}
-	return nil, fmt.Errorf("service: graph %q has no tier at level %d (available: %v)", id, level, tierLevels(ep.Tiers))
+	return nil, fmt.Errorf("service: graph %q has no tier at level %d (available: %v): %w", id, level, tierLevels(ep.Tiers), ErrNotFound)
 }
 
 // TierSnapshot serves the requested tier as an encoded standalone flat
@@ -502,9 +614,10 @@ func (s *Service) Update(ctx context.Context, id string, b graph.Batch) (*Update
 		}
 		// Tiers are an MST construct (hier.BuildTiers); a non-mst entry
 		// cannot carry meaningful ones, so none are rebuilt here.
-		next := &Epoch{Seq: prev.Seq + 1, Problem: prev.Problem, Root: prev.Root, Graph: g, Advice: adviceBits}
+		next := &Epoch{Seq: prev.Seq + 1, Problem: prev.Problem, Cap: prev.Cap, Root: prev.Root, Graph: g, Advice: adviceBits}
 		e.cur.Store(next)
 		s.updates.Add(1)
+		s.firePublish(id, next)
 		return &UpdateReply{Epoch: next.Seq, Incremental: false, Reencoded: g.N()}, nil
 	}
 	if e.adv == nil {
@@ -526,6 +639,7 @@ func (s *Service) Update(ctx context.Context, id string, b graph.Batch) (*Update
 	next := &Epoch{
 		Seq:     prev.Seq + 1,
 		Problem: prev.Problem,
+		Cap:     prev.Cap,
 		Root:    e.adv.Root(),
 		// The advisor owns its live graph and patches it in place on the
 		// next update; published epochs need a frozen copy.
@@ -551,6 +665,7 @@ func (s *Service) Update(ctx context.Context, id string, b graph.Batch) (*Update
 	}
 	e.cur.Store(next)
 	s.updates.Add(1)
+	s.firePublish(id, next)
 	reply := &UpdateReply{Epoch: next.Seq, Incremental: res.Incremental, Reencoded: len(res.Changed)}
 	return reply, nil
 }

@@ -1,0 +1,91 @@
+package store
+
+// Length-prefixed record framing for append-only logs and wire frames
+// (DESIGN.md §2.10): every record is
+//
+//	length   payload byte count, unsigned LEB128 varint
+//	payload  that many bytes
+//	crc      4 bytes little-endian IEEE CRC32 of the payload
+//
+// The snapshot codec above guards one self-contained file; this framing
+// guards a *sequence* — an epoch log a primary appends to and replicas
+// tail, or a stream of request/reply frames on a TCP connection. The
+// per-record CRC means a torn tail (a crash mid-append) or a truncated
+// connection surfaces as ErrTornRecord on exactly the damaged record,
+// never as a misparse of the bytes that follow.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ErrTornRecord marks a record whose length header, payload or CRC
+// footer is incomplete or inconsistent — a torn log tail after a crash,
+// or a connection cut mid-frame. Log replay truncates at the first torn
+// record; wire readers treat it as a connection failure.
+var ErrTornRecord = errors.New("store: torn record")
+
+// maxRecord bounds a record's declared payload so a corrupt or hostile
+// length header cannot request a multi-gigabyte allocation. Epoch
+// records hold one encoded snapshot; 1 GiB clears any snapshot this
+// repository produces by orders of magnitude.
+const maxRecord = 1 << 30
+
+// AppendRecord frames payload onto buf: varint length, the payload
+// bytes, and the payload's CRC32 footer.
+func AppendRecord(buf, payload []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	return append(buf, crc[:]...)
+}
+
+// ReadRecord reads one framed record from r and returns its payload.
+// A clean end of input (no bytes before the next record) returns io.EOF;
+// anything short or inconsistent after the first byte returns an error
+// wrapping ErrTornRecord.
+func ReadRecord(r *bufio.Reader) ([]byte, error) {
+	first := true
+	length, err := binary.ReadUvarint(countingByteReader{r, &first})
+	if err != nil {
+		if first && err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: length header: %v", ErrTornRecord, err)
+	}
+	if length > maxRecord {
+		return nil, fmt.Errorf("%w: declared payload of %d bytes exceeds the %d limit", ErrTornRecord, length, maxRecord)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrTornRecord, err)
+	}
+	var foot [4]byte
+	if _, err := io.ReadFull(r, foot[:]); err != nil {
+		return nil, fmt.Errorf("%w: CRC footer: %v", ErrTornRecord, err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(foot[:]); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch: footer says %08x, payload hashes to %08x", ErrTornRecord, want, got)
+	}
+	return payload, nil
+}
+
+// countingByteReader lets ReadRecord distinguish "no record at all"
+// (clean EOF before the first length byte) from "record cut mid-header".
+type countingByteReader struct {
+	r     *bufio.Reader
+	first *bool
+}
+
+func (c countingByteReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		*c.first = false
+	}
+	return b, err
+}

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("hello"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 1<<15),
+		{0x00},
+	}
+	var stream []byte
+	for _, p := range payloads {
+		stream = AppendRecord(stream, p)
+	}
+	br := bufio.NewReader(bytes.NewReader(stream))
+	for i, want := range payloads {
+		got, err := ReadRecord(br)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: %d bytes read, %d written", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadRecord(br); err != io.EOF {
+		t.Fatalf("after last record: %v, want io.EOF", err)
+	}
+}
+
+// TestRecordCodecTornTail pins the crash-recovery contract: any strict
+// prefix of a record stream yields the complete records followed by
+// either a clean io.EOF (cut exactly on a boundary) or ErrTornRecord —
+// never a misparse, never a stall.
+func TestRecordCodecTornTail(t *testing.T) {
+	payloads := [][]byte{[]byte("first"), []byte("second record"), []byte("x")}
+	var stream []byte
+	boundaries := map[int]int{0: 0} // prefix length -> records readable there
+	for i, p := range payloads {
+		stream = AppendRecord(stream, p)
+		boundaries[len(stream)] = i + 1
+	}
+	for cut := 0; cut <= len(stream); cut++ {
+		br := bufio.NewReader(bytes.NewReader(stream[:cut]))
+		reads := 0
+		var err error
+		for {
+			var got []byte
+			got, err = ReadRecord(br)
+			if err != nil {
+				break
+			}
+			if !bytes.Equal(got, payloads[reads]) {
+				t.Fatalf("cut %d: record %d corrupted", cut, reads)
+			}
+			reads++
+		}
+		wantRecs, onBoundary := boundaries[cut]
+		if !onBoundary {
+			// Mid-record cut: every full record before it, then a torn error.
+			for b, n := range boundaries {
+				if b < cut && n > wantRecs {
+					wantRecs = n
+				}
+			}
+			if !errors.Is(err, ErrTornRecord) {
+				t.Fatalf("cut %d: err = %v, want ErrTornRecord", cut, err)
+			}
+		} else if err != io.EOF {
+			t.Fatalf("cut %d (boundary): err = %v, want io.EOF", cut, err)
+		}
+		if reads != wantRecs {
+			t.Fatalf("cut %d: read %d records, want %d", cut, reads, wantRecs)
+		}
+	}
+}
+
+// TestRecordCodecRejectsCorruption flips every byte of a framed record
+// and requires the reader to fail rather than return altered bytes.
+func TestRecordCodecRejectsCorruption(t *testing.T) {
+	frame := AppendRecord(nil, []byte("payload under test"))
+	for i := range frame {
+		mutated := append([]byte(nil), frame...)
+		mutated[i] ^= 0x40
+		if _, err := ReadRecord(bufio.NewReader(bytes.NewReader(mutated))); err == nil {
+			t.Fatalf("flip at byte %d went undetected", i)
+		}
+	}
+}

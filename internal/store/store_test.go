@@ -1,7 +1,9 @@
 package store
 
 import (
+	"bytes"
 	"encoding/binary"
+	"fmt"
 	"hash/crc32"
 	"math/rand"
 	"os"
@@ -258,4 +260,56 @@ func TestDecodeRejectsInflatedMaxBits(t *testing.T) {
 	if len(snap.Advice) != 2 || snap.Advice[0].Len() != 0 {
 		t.Fatalf("canonical all-empty advice decoded wrong: %+v", snap.Advice)
 	}
+}
+
+// TestSaveCrashKeepsPreviousSnapshot simulates a crash at every byte of
+// an in-progress Save: a replacement snapshot's temp file (the
+// `.mstadv-*` CreateTemp name Save uses) is torn at each possible
+// prefix while the previous snapshot sits under the final name. The
+// debris must never change what the final name holds — the previous
+// snapshot stays byte-identical and loads — and a later Save must
+// replace the target cleanly despite it.
+func TestSaveCrashKeepsPreviousSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.mstadv")
+	prev := buildSnapshot(t, mustFamily(t, "star"), 8, 1, gen.WeightsDistinct)
+	if err := Save(path, prev); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := buildSnapshot(t, mustFamily(t, "star"), 8, 2, gen.WeightsDistinct)
+	blob, err := Encode(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(blob); cut++ {
+		torn := filepath.Join(dir, fmt.Sprintf(".mstadv-%08d", cut))
+		if err := os.WriteFile(torn, blob[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("torn temp of %d bytes broke the target: %v", cut, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("torn temp of %d bytes changed the target (%d vs %d bytes)", cut, len(got), len(want))
+		}
+		snap, err := Load(path)
+		if err != nil {
+			t.Fatalf("torn temp of %d bytes broke Load: %v", cut, err)
+		}
+		assertSnapshotsEqual(t, fmt.Sprintf("cut %d", cut), prev, snap)
+	}
+	// A Save that does finish replaces the target despite the debris.
+	if err := Save(path, next); err != nil {
+		t.Fatalf("Save around crash debris: %v", err)
+	}
+	snap, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotsEqual(t, "after recovery save", next, snap)
 }

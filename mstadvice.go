@@ -39,7 +39,13 @@
 //     DESIGN.md §2.9): the Borůvka contraction tower kept first-class,
 //     the level-parameterized mst-hier-l schemes trading advice bits
 //     for extra decompression rounds, and tiered snapshots whose coarse
-//     instances the service hands out (AdviceService.TierSnapshot).
+//     instances the service hands out (AdviceService.TierSnapshot);
+//   - fault-tolerant replicated serving (EpochLog, Replica,
+//     ReplicaClient; DESIGN.md §2.10): a primary's epoch history as a
+//     durable CRC-framed log, followers tailing it over TCP with
+//     consistent-prefix reads, a failover client with degraded
+//     coarse-tier reads, and the deterministic fault-injecting
+//     ChaosProxy that proves the guarantees under kill/restart chaos.
 //
 // See README.md for a tour, DESIGN.md for the architecture and
 // EXPERIMENTS.md for the paper-versus-measured record.
@@ -51,6 +57,7 @@ import (
 	"mstadvice/internal/advice"
 	"mstadvice/internal/bitstring"
 	"mstadvice/internal/boruvka"
+	"mstadvice/internal/chaos"
 	"mstadvice/internal/core"
 	"mstadvice/internal/dynamic"
 	"mstadvice/internal/graph"
@@ -60,6 +67,7 @@ import (
 	"mstadvice/internal/problem"
 	"mstadvice/internal/problem/mstp"
 	"mstadvice/internal/problem/topo"
+	"mstadvice/internal/replica"
 	"mstadvice/internal/schemes/localgather"
 	"mstadvice/internal/schemes/noadvice"
 	"mstadvice/internal/schemes/oneround"
@@ -460,6 +468,71 @@ func OpenSnapshot(path string) (*Snapshot, error) { return store.OpenMapped(path
 // with its Register method and serve it with service.NewHandler (or the
 // mstadviced daemon).
 func NewAdviceService() *AdviceService { return service.New() }
+
+// Replication-layer re-exports (internal/replica, internal/chaos; see
+// DESIGN.md §2.10). A primary AdviceService attaches an EpochLog to its
+// publish hook, so every published epoch lands in a durable CRC-framed
+// log; a Replica tails that log over TCP into its own service
+// (consistent-prefix reads); a ReplicaClient spreads reads over the
+// endpoints with failover, stale-epoch detection and degraded
+// coarse-tier fallback; and a ChaosProxy injects deterministic,
+// seed-scheduled connection faults to prove the guarantees hold.
+type (
+	// EpochLog is the append-only epoch history of a primary: one
+	// CRC-framed record per published epoch, fsynced when durable.
+	EpochLog = replica.Log
+	// EpochRecord is one log entry: a graph's epoch as an encoded,
+	// self-contained snapshot.
+	EpochRecord = replica.EpochRecord
+	// ReplicaServer serves the binary replication protocol: advice,
+	// tier and info reads plus the epoch-log tail stream.
+	ReplicaServer = replica.Server
+	// ReplicaServerOptions tune a ReplicaServer (TierOnly is the
+	// memory-pressure degraded mode).
+	ReplicaServerOptions = replica.ServerOptions
+	// Replica is a follower: it tails a primary's epoch log and
+	// publishes each record through the copy-on-write path.
+	Replica = replica.Replica
+	// ReplicaOptions tune a follower's reconnect backoff and local log.
+	ReplicaOptions = replica.ReplicaOptions
+	// ReplicaClient reads advice from a replicated endpoint set:
+	// round-robin, failover, per-graph monotone epochs.
+	ReplicaClient = replica.Client
+	// ReplicaClientOptions tune the failover read path.
+	ReplicaClientOptions = replica.ClientOptions
+	// ChaosProxy is the deterministic fault-injecting TCP proxy.
+	ChaosProxy = chaos.Proxy
+	// ChaosSchedule derives each proxied connection's fault from a seed.
+	ChaosSchedule = chaos.Schedule
+)
+
+// OpenEpochLog opens (or creates) the durable epoch log at path,
+// replaying existing records and truncating a torn tail; an empty path
+// yields a purely in-memory log.
+func OpenEpochLog(path string) (*EpochLog, error) { return replica.OpenLog(path) }
+
+// NewReplicaServer serves svc and its epoch log over the binary
+// replication protocol; call Listen to bind it.
+func NewReplicaServer(svc *AdviceService, log *EpochLog, opts ReplicaServerOptions) *ReplicaServer {
+	return replica.NewServer(svc, log, opts)
+}
+
+// NewReplica builds a follower of the primary at addr publishing into
+// svc; call Run to start tailing.
+func NewReplica(svc *AdviceService, addr string, opts ReplicaOptions) *Replica {
+	return replica.NewReplica(svc, addr, opts)
+}
+
+// NewReplicaClient builds a failover read client over the endpoint set.
+func NewReplicaClient(endpoints []string, opts ReplicaClientOptions) (*ReplicaClient, error) {
+	return replica.NewClient(endpoints, opts)
+}
+
+// NewChaosProxy listens on an ephemeral port and forwards connections
+// to target, injecting the schedule's deterministic faults.
+func NewChaosProxy(target string, sched ChaosSchedule) (*ChaosProxy, error) {
+	return chaos.NewProxy(target, sched)
+}
 
 // TreeLabel is a proof-labeling certificate (root identifier, depth) for
 // one node of a claimed rooted spanning tree.
