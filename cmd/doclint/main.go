@@ -13,7 +13,11 @@
 //     pinned in README's paper → code map: a map row naming the package
 //     path and at least one test function that actually exists in that
 //     package, so no problem joins the registry without a documented,
-//     named pinning test.
+//     named pinning test;
+//   - every metric registered in non-test code (a string-literal name
+//     passed to .Counter / .Gauge / .GaugeFunc / .Histogram, DESIGN.md
+//     §2.11) must appear backticked in §2.11's metric table, so the
+//     operator-facing inventory can never silently lag the code.
 //
 // CI runs it as a build step:
 //
@@ -126,6 +130,35 @@ func main() {
 		}
 	}
 
+	// Rule 4: every metric name registered in non-test code appears in
+	// DESIGN.md §2.11's table.
+	metricsDoc, err := designSection(filepath.Join(root, "DESIGN.md"), "2.11")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(2)
+	}
+	metricNames := map[string]bool{}
+	for _, file := range goFiles {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		rel, _ := filepath.Rel(root, file)
+		if strings.HasPrefix(filepath.ToSlash(rel), "internal/obs/") {
+			continue // the primitives themselves, not registrations
+		}
+		names, err := registeredMetrics(file)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", rel, err))
+			continue
+		}
+		for _, name := range names {
+			metricNames[name] = true
+			if !strings.Contains(metricsDoc, "`"+name+"`") {
+				problems = append(problems, fmt.Sprintf("%s: registers metric %q but DESIGN.md §2.11's table does not list `%s`", rel, name, name))
+			}
+		}
+	}
+
 	sort.Strings(problems)
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, "doclint: "+p)
@@ -134,8 +167,67 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
 		os.Exit(1)
 	}
-	fmt.Printf("doclint: %d packages documented, %d § anchors, %d problem registrant(s) pinned, all references resolve\n",
-		len(pkgDirs), len(anchors), registrants)
+	fmt.Printf("doclint: %d packages documented, %d § anchors, %d problem registrant(s) pinned, %d metric name(s) documented, all references resolve\n",
+		len(pkgDirs), len(anchors), registrants, len(metricNames))
+}
+
+// metricMethods are the obs.Registry registration methods whose first
+// argument names a metric family.
+var metricMethods = map[string]bool{"Counter": true, "Gauge": true, "GaugeFunc": true, "Histogram": true}
+
+// registeredMetrics returns the string-literal metric names the file
+// passes to registry registration calls. Only literal first arguments
+// count — a computed name cannot be checked against the table, and the
+// codebase registers every family with a literal by §2.11 convention.
+func registeredMetrics(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !metricMethods[sel.Sel.Name] {
+			return true
+		}
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			names = append(names, strings.Trim(lit.Value, `"`))
+		}
+		return true
+	})
+	return names, nil
+}
+
+// designSection returns the body of one §-anchored DESIGN.md section:
+// from its heading to the next heading of any level.
+func designSection(path, anchor string) (string, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	lines := strings.Split(string(blob), "\n")
+	start := -1
+	for i, line := range lines {
+		m := headingRe.FindStringSubmatch(line)
+		if start == -1 {
+			if m != nil && m[1] == anchor {
+				start = i
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return strings.Join(lines[start:i], "\n"), nil
+		}
+	}
+	if start == -1 {
+		return "", fmt.Errorf("%s: no §%s heading found", path, anchor)
+	}
+	return strings.Join(lines[start:], "\n"), nil
 }
 
 // registersProblem reports whether any non-test file in dir calls

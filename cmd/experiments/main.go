@@ -26,6 +26,10 @@
 //	                                  # replicated serving tier: failover
 //	                                  # client under kill/restart chaos,
 //	                                  # catch-up time, zero-wrong-answers
+//	experiments -bench-obs BENCH_obs.json
+//	                                  # observability overhead gate: the
+//	                                  # hot-path instrument cost and the
+//	                                  # read path's 0-allocs / <5% contract
 //	experiments -bench-oracle /tmp/now.json -sizes 10000 \
 //	            -bench-baseline BENCH_oracle.json
 //	                                  # CI smoke: fail on >2x regression
@@ -33,10 +37,10 @@
 //	                                  # profile any bench run with pprof
 //
 // With -bench-sim / -bench-oracle / -bench-service / -bench-async /
-// -bench-topo / -bench-hier / -bench-replica the
+// -bench-topo / -bench-hier / -bench-replica / -bench-obs the
 // command skips the tables, runs the corresponding benchmark (see
 // internal/experiments: SimBench, OracleBench, ServiceBench, AsyncBench,
-// TopoBench, HierBench, ReplicaBench)
+// TopoBench, HierBench, ReplicaBench, ObsBench)
 // and writes the rows as JSON. Running it with the
 // committed file names regenerates the in-tree perf trajectory;
 // -bench-baseline additionally compares the fresh rows against a
@@ -69,6 +73,7 @@ func main() {
 		benchTopo      = flag.String("bench-topo", "", "run the topology-recognition benchmark and write JSON to this file instead of tables")
 		benchHier      = flag.String("bench-hier", "", "run the hierarchical-advice benchmark and write JSON to this file instead of tables")
 		benchReplica   = flag.String("bench-replica", "", "run the replicated-serving-tier chaos benchmark and write JSON to this file instead of tables")
+		benchObs       = flag.String("bench-obs", "", "run the observability-overhead benchmark and write JSON to this file instead of tables")
 		cpuProfile     = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile     = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		serviceQueries = flag.Int("service-queries", 0, "closed-loop query count per -bench-service row (0 = default)")
@@ -118,10 +123,10 @@ func main() {
 			}
 		}()
 	}
-	if *benchBase != "" && *benchSim == "" && *benchOracle == "" && *benchService == "" && *benchAsync == "" && *benchTopo == "" && *benchHier == "" && *benchReplica == "" {
-		fail("-bench-baseline needs -bench-sim, -bench-oracle, -bench-service, -bench-async, -bench-topo, -bench-hier and/or -bench-replica to produce rows to compare")
+	if *benchBase != "" && *benchSim == "" && *benchOracle == "" && *benchService == "" && *benchAsync == "" && *benchTopo == "" && *benchHier == "" && *benchReplica == "" && *benchObs == "" {
+		fail("-bench-baseline needs -bench-sim, -bench-oracle, -bench-service, -bench-async, -bench-topo, -bench-hier, -bench-replica and/or -bench-obs to produce rows to compare")
 	}
-	if *benchSim != "" || *benchOracle != "" || *benchService != "" || *benchAsync != "" || *benchTopo != "" || *benchHier != "" || *benchReplica != "" {
+	if *benchSim != "" || *benchOracle != "" || *benchService != "" || *benchAsync != "" || *benchTopo != "" || *benchHier != "" || *benchReplica != "" || *benchObs != "" {
 		// Read the baseline before any bench writes its rows: the output
 		// path may BE the committed baseline (one step regenerates the
 		// artifact and gates it against the committed state in a single
@@ -188,6 +193,14 @@ func main() {
 				fail("%v", err)
 			}
 			fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), *benchReplica)
+			all = append(all, rows...)
+		}
+		if *benchObs != "" {
+			rows := experiments.ObsBench(cfg)
+			if err := experiments.WriteBench(*benchObs, rows); err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), *benchObs)
 			all = append(all, rows...)
 		}
 		if *benchBase != "" {

@@ -46,8 +46,10 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	rpprof "runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -55,11 +57,17 @@ import (
 
 	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
+	"mstadvice/internal/obs"
 	"mstadvice/internal/problem"
 	"mstadvice/internal/replica"
 	"mstadvice/internal/service"
 	"mstadvice/internal/store"
 )
+
+// recorderDepth bounds the flight recorder: the last N structured
+// events (publishes, reconnects, chaos-visible failures) kept for
+// GET /v1/events and the SIGQUIT dump.
+const recorderDepth = 256
 
 // repeatable collects repeated -load/-graph flags.
 type repeatable []string
@@ -80,6 +88,7 @@ func main() {
 		replicateFrom = flag.String("replicate-from", "", "follower mode: tail the primary's epoch log at this address instead of loading graphs")
 		tierOnly      = flag.Bool("tier-only", false, "degraded mode for -replica-listen: refuse full advice reads, serve coarse tiers only")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
+		debugAddr     = flag.String("debug-addr", "", "observability endpoint: GET /metrics (Prometheus text), GET /v1/events (flight recorder), /debug/pprof/")
 	)
 	flag.Var(&loads, "load", "register a stored snapshot: id=path (repeatable)")
 	flag.Var(&graphs, "graph", "register a generated instance: id=family:n[:seed] (repeatable)")
@@ -90,6 +99,15 @@ func main() {
 	}
 	svc := service.New()
 
+	// The flight recorder runs unconditionally (it is a fixed-size ring);
+	// -debug-addr only decides whether it is also queryable over HTTP.
+	// SIGQUIT dumps it either way.
+	rec := obs.NewRecorder(recorderDepth)
+	svc.OnPublish(func(id string, ep *service.Epoch) {
+		rec.Record("publish", "graph %s epoch %d published", id, ep.Seq)
+	})
+	regs := []*obs.Registry{svc.Metrics()}
+
 	// The epoch log is the replication substrate; without -epoch-log it
 	// is purely in-memory, which still lets -replica-listen stream the
 	// history accumulated since startup.
@@ -97,6 +115,7 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	regs = append(regs, elog.Metrics())
 
 	// workCtx is the base context of every request and of the follower's
 	// tail loop. It deliberately outlives the termination signal: the
@@ -109,7 +128,8 @@ func main() {
 		if len(loads)+len(graphs) > 0 {
 			fail("-replicate-from is exclusive with -load/-graph: a follower's graphs come from the primary's log")
 		}
-		rep := replica.NewReplica(svc, *replicateFrom, replica.ReplicaOptions{Log: elog})
+		rep := replica.NewReplica(svc, *replicateFrom, replica.ReplicaOptions{Log: elog, Recorder: rec})
+		regs = append(regs, rep.Metrics())
 		if err := rep.ReplayLocal(); err != nil {
 			fail("%v", err)
 		}
@@ -165,6 +185,7 @@ func main() {
 
 	if *replicaListen != "" {
 		rsrv := replica.NewServer(svc, elog, replica.ServerOptions{TierOnly: *tierOnly})
+		regs = append(regs, rsrv.Metrics())
 		if err := rsrv.Listen(*replicaListen); err != nil {
 			fail("%v", err)
 		}
@@ -175,6 +196,40 @@ func main() {
 		}
 		fmt.Printf("replication protocol on %s%s\n", rsrv.Addr(), mode)
 	}
+
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.Handle("/metrics", obs.MetricsHandler(regs...))
+		dmux.Handle("/v1/events", obs.EventsHandler(rec))
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// Listen explicitly so the banner carries the bound address even
+		// for ":0" — the observability test parses it from stdout.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fail("%v", err)
+		}
+		dsrv := &http.Server{Handler: dmux}
+		defer dsrv.Close()
+		go dsrv.Serve(dln)
+		fmt.Printf("debug endpoint on %s (/metrics, /v1/events, /debug/pprof/)\n", dln.Addr())
+	}
+
+	// SIGQUIT is the live-diagnosis signal: dump the flight recorder and
+	// a goroutine profile to stderr and keep serving — unlike the Go
+	// runtime default, which dumps stacks and dies.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	go func() {
+		for range quitCh {
+			fmt.Fprintln(os.Stderr, "mstadviced: SIGQUIT diagnostic dump")
+			rec.Dump(os.Stderr)
+			rpprof.Lookup("goroutine").WriteTo(os.Stderr, 1)
+		}
+	}()
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -42,7 +43,7 @@ func TestSIGTERMDrain(t *testing.T) {
 	}
 	defer cmd.Process.Kill()
 
-	addr, err := scanListenAddr(stdout)
+	addr, _, err := scanListenAddr(stdout)
 	if err != nil {
 		t.Fatalf("%v; stderr: %s", err, stderr.String())
 	}
@@ -91,9 +92,141 @@ func TestSIGTERMDrain(t *testing.T) {
 	}
 }
 
+// TestDebugEndpointAndSIGQUIT pins the observability surface: the
+// banner prints the bound -debug-addr, /metrics serves registered
+// series (including the publish the startup graph produced), /v1/events
+// serves the flight recorder, and SIGQUIT dumps the recorder plus a
+// goroutine profile to stderr without killing the daemon.
+func TestDebugEndpointAndSIGQUIT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "mstadviced")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0", "-graph", "demo=random:500:7")
+	// The test polls stderr while the daemon is alive, so the sink must
+	// be safe against the exec copier goroutine.
+	var stderr syncBuffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Both banners ride the same stdout; the debug one precedes the
+	// listen one, so scanning up to the listen banner captures both.
+	re := regexp.MustCompile(`debug endpoint on (\S+) `)
+	httpAddr, seenStdout, err := scanListenAddr(stdout)
+	if err != nil {
+		t.Fatalf("%v; stderr: %s", err, stderr.String())
+	}
+	m := re.FindStringSubmatch(seenStdout)
+	if m == nil {
+		t.Fatalf("no debug-endpoint banner in stdout %q", seenStdout)
+	}
+	debugAddr := m[1]
+	go io.Copy(io.Discard, stdout)
+
+	// Drive one advice read so the query counter moves.
+	if resp, err := http.Get(fmt.Sprintf("http://%s/v1/graphs/demo/advice?node=3", httpAddr)); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	body := httpGetBody(t, fmt.Sprintf("http://%s/metrics", debugAddr))
+	for _, want := range []string{
+		"service_queries_total 1",
+		`service_op_total{op="register"} 1`,
+		"replica_log_records 1", // the startup graph's epoch 0, in the (in-memory) epoch log
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	events := httpGetBody(t, fmt.Sprintf("http://%s/v1/events", debugAddr))
+	if !strings.Contains(events, `"kind": "publish"`) || !strings.Contains(events, "demo") {
+		t.Errorf("/v1/events missing the startup publish event: %s", events)
+	}
+
+	// SIGQUIT: diagnostic dump on stderr, daemon stays up.
+	if err := cmd.Process.Signal(syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := stderr.String()
+		if strings.Contains(s, "flight recorder") && strings.Contains(s, "goroutine profile") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no SIGQUIT dump on stderr within 5s: %q", s)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !strings.Contains(stderr.String(), "[publish]") {
+		t.Errorf("SIGQUIT dump missing recorded publish events: %q", stderr.String())
+	}
+
+	// Still serving after the dump — SIGQUIT must not exit.
+	if body := httpGetBody(t, fmt.Sprintf("http://%s/metrics", debugAddr)); !strings.Contains(body, "service_queries_total") {
+		t.Error("daemon stopped serving /metrics after SIGQUIT")
+	}
+
+	cmd.Process.Signal(syscall.SIGTERM)
+	if err := cmd.Wait(); err != nil {
+		t.Errorf("daemon exited non-zero: %v; stderr: %s", err, stderr.String())
+	}
+}
+
+// syncBuffer is a goroutine-safe stderr sink for live polling.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
 // scanListenAddr reads the daemon's stdout until the listen banner and
-// returns the bound address.
-func scanListenAddr(stdout io.Reader) (string, error) {
+// returns the bound address plus everything read so far (the earlier
+// banners, e.g. the debug endpoint's, ride along).
+func scanListenAddr(stdout io.Reader) (string, string, error) {
 	re := regexp.MustCompile(`mstadviced listening on (\S+)`)
 	buf := make([]byte, 4096)
 	var seen strings.Builder
@@ -101,10 +234,10 @@ func scanListenAddr(stdout io.Reader) (string, error) {
 		n, err := stdout.Read(buf)
 		seen.Write(buf[:n])
 		if m := re.FindStringSubmatch(seen.String()); m != nil {
-			return m[1], nil
+			return m[1], seen.String(), nil
 		}
 		if err != nil {
-			return "", fmt.Errorf("daemon exited before the listen banner (stdout %q): %w", seen.String(), err)
+			return "", "", fmt.Errorf("daemon exited before the listen banner (stdout %q): %w", seen.String(), err)
 		}
 	}
 }

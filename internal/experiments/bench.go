@@ -33,6 +33,12 @@ import (
 //	            decoder under the α-synchronizer, rounds (pulses) vs
 //	            VirtualTime, payload vs synchronizer overhead, Verified
 //	            = full parity with the synchronous reference run
+//	"replica" — replicated serving tier (ReplicaBench): failover client
+//	            under kill/restart chaos, catch-up, zero wrong answers,
+//	            and the replica-obs metrics-vs-truth row
+//	"obs"     — observability overhead gate (ObsBench): per-op cost of
+//	            the hot-path instruments and the read path's 0-allocs /
+//	            <5%-overhead contract (DESIGN.md §2.11)
 type BenchResult struct {
 	Kind           string  `json:"kind"`
 	Scheme         string  `json:"scheme"`

@@ -16,6 +16,7 @@ import (
 	"mstadvice/internal/core"
 	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
+	"mstadvice/internal/obs"
 	"mstadvice/internal/replica"
 	"mstadvice/internal/service"
 	"mstadvice/internal/store"
@@ -46,6 +47,15 @@ const replicaBenchQueries = 20_000
 //	replica-catchup      WallNS = replica restart → fully caught up
 //	                     (Rounds = records it was behind: the epochs
 //	                     the writer published while it was down)
+//	replica-obs          metrics-vs-truth: the restarted replica's lag
+//	                     gauge reads 0 once the writer quiesces and the
+//	                     backlog drains, its applied gauge matches the
+//	                     bench's own count, and the flight recorder
+//	                     captured the reconnects and the chaos script's
+//	                     phase transitions (Rounds = events recorded);
+//	                     the fault-free row additionally cross-checks
+//	                     the servers' answered-advice frame counters
+//	                     against the client's observed answers
 //
 // Verified is the contract, not a timing: zero wrong answers (every
 // reply byte-identical to the published advice of the epoch it names),
@@ -142,7 +152,14 @@ func replicaBenchAt(c Config, n, queries int) []BenchResult {
 	}
 	addrP := srvP.Addr()
 
-	// Replica: follower service + its own durable log + wire server.
+	// The flight recorder spans both phases: replica reconnects and the
+	// chaos script's phase transitions land in it, and the replica-obs
+	// row asserts they were captured.
+	rec := obs.NewRecorder(64)
+
+	// Replica: follower service + its own durable log + wire server. The
+	// Head oracle (the primary log's length) turns the lag gauge into
+	// true epochs-behind.
 	repLog, err := replica.OpenLog(filepath.Join(dir, "replica.log"))
 	if err != nil {
 		panic(err)
@@ -150,6 +167,7 @@ func replicaBenchAt(c Config, n, queries int) []BenchResult {
 	follower := service.New()
 	rep := replica.NewReplica(follower, addrP, replica.ReplicaOptions{
 		ReconnectBase: 5 * time.Millisecond, ReconnectCap: 50 * time.Millisecond, Log: repLog,
+		Head: log.Len, Recorder: rec,
 	})
 	repCtx, repCancel := context.WithCancel(context.Background())
 	repDone := make(chan struct{})
@@ -193,7 +211,8 @@ func replicaBenchAt(c Config, n, queries int) []BenchResult {
 	// Phase 1: fault-free closed loop, direct to both endpoints, under
 	// the same write churn the chaos phase will see.
 	epochs0 := churn.epochs.Load()
-	freeRow := replicaQueryFixed(base, []string{addrP, addrR}, graphID, refs, 4, queries, n)
+	freeRow := replicaQueryFixed(base, []string{addrP, addrR}, graphID, refs, 4, queries, n,
+		[]*obs.Registry{srvP.Metrics(), srvR.Metrics()})
 	freeRow.Scheme = "replica-query"
 	freeRow.Rounds = int(churn.epochs.Load() - epochs0)
 	out = append(out, freeRow)
@@ -233,7 +252,7 @@ func replicaBenchAt(c Config, n, queries int) []BenchResult {
 	}
 	chaosRows := replicaChaosPhase(base, chaosEnv{
 		graphID: graphID, refs: refs, n: n, log: log, repLog: repLog,
-		killReplica: killReplica, churn: churn,
+		killReplica: killReplica, churn: churn, rec: rec,
 		srvP: srvP, addrP: addrP, addrR: addrR,
 		endpoints: []string{pP.Addr(), pR.Addr()},
 		freeP99:   freeRow.P99NS,
@@ -316,7 +335,7 @@ func waitCaughtUp(rep *replica.Replica, target int, timeout time.Duration) {
 // replicaQueryFixed drives a fixed-count closed loop and verifies every
 // answer against the published epoch it names.
 func replicaQueryFixed(base BenchResult, endpoints []string, graphID string,
-	refs *epochRefs, workers, queries, n int) BenchResult {
+	refs *epochRefs, workers, queries, n int, srvRegs []*obs.Registry) BenchResult {
 
 	cli, err := replica.NewClient(endpoints, replica.ClientOptions{
 		Timeout: 2 * time.Second, Attempts: 8, BackoffBase: 500 * time.Microsecond, Seed: 17,
@@ -341,6 +360,7 @@ func replicaQueryFixed(base BenchResult, endpoints []string, graphID string,
 		msg := fmt.Sprintf(format, args...)
 		firstBad.CompareAndSwap(nil, &msg)
 	}
+	framesBefore := serverAdviceOKFrames(srvRegs)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -373,6 +393,18 @@ func replicaQueryFixed(base BenchResult, endpoints []string, graphID string,
 	wg.Wait()
 	wall := time.Since(start)
 
+	// Metrics-vs-truth cross-check: every advice frame the servers
+	// answered OK reached this client as either an accepted answer or a
+	// stale-epoch retry (the server answered; the client rejected the
+	// lagging epoch and asked elsewhere). The server increments its frame
+	// counter before writing the reply, so by the time every reply has
+	// been read here the two sides must agree exactly.
+	serverOK := serverAdviceOKFrames(srvRegs) - framesBefore
+	clientOK := clientAdviceOutcomes(cli, endpoints, "ok") + clientAdviceOutcomes(cli, endpoints, "stale")
+	if serverOK != clientOK {
+		flagBad("metrics cross-check: servers answered %d advice frames OK, client observed %d (ok+stale)", serverOK, clientOK)
+	}
+
 	all := make([]int64, 0, workers*perWorker)
 	for _, lat := range latencies {
 		all = append(all, lat...)
@@ -394,6 +426,28 @@ func replicaQueryFixed(base BenchResult, endpoints []string, graphID string,
 	return row
 }
 
+// serverAdviceOKFrames sums the servers' successfully answered advice
+// frames across the given registries.
+func serverAdviceOKFrames(regs []*obs.Registry) uint64 {
+	var total uint64
+	for _, reg := range regs {
+		v, _ := reg.CounterValue("replica_server_frames_total", "op", "advice", "result", "ok")
+		total += v
+	}
+	return total
+}
+
+// clientAdviceOutcomes sums the client's per-endpoint attempt counters
+// for one outcome.
+func clientAdviceOutcomes(cli *replica.Client, endpoints []string, outcome string) uint64 {
+	var total uint64
+	for _, ep := range endpoints {
+		v, _ := cli.Metrics().CounterValue("replica_client_attempts_total", "endpoint", ep, "outcome", outcome)
+		total += v
+	}
+	return total
+}
+
 type chaosEnv struct {
 	graphID     string
 	refs        *epochRefs
@@ -402,6 +456,7 @@ type chaosEnv struct {
 	repLog      *replica.Log // the replica's durable mirror
 	killReplica func()       // stops the tail loop and closes the endpoint
 	churn       *churnState
+	rec         *obs.Recorder
 	srvP        *replica.Server
 	addrP       string
 	addrR       string
@@ -484,6 +539,7 @@ func replicaChaosPhase(base BenchResult, env chaosEnv) []BenchResult {
 	// Kill the whole replica — tail loop, endpoint, in-memory state.
 	// Only its durable log survives; the writer races ahead while it is
 	// down.
+	env.rec.Record("chaos", "killing replica endpoint %s", env.addrR)
 	env.killReplica()
 	time.Sleep(scriptStep)
 
@@ -492,6 +548,7 @@ func replicaChaosPhase(base BenchResult, env chaosEnv) []BenchResult {
 	follower2 := service.New()
 	rep2 := replica.NewReplica(follower2, env.addrP, replica.ReplicaOptions{
 		ReconnectBase: 5 * time.Millisecond, ReconnectCap: 50 * time.Millisecond, Log: env.repLog,
+		Head: env.log.Len, Recorder: env.rec,
 	})
 	if err := rep2.ReplayLocal(); err != nil {
 		panic(err)
@@ -506,6 +563,8 @@ func replicaChaosPhase(base BenchResult, env chaosEnv) []BenchResult {
 	srvR2 := replica.NewServer(follower2, nil, replica.ServerOptions{})
 	rebind(srvR2, env.addrR)
 	defer srvR2.Close()
+
+	env.rec.Record("chaos", "replica restarted from durable log, %d records behind", behind)
 
 	// Catch-up: the restarted replica drains everything the writer
 	// published while it was down.
@@ -523,6 +582,7 @@ func replicaChaosPhase(base BenchResult, env chaosEnv) []BenchResult {
 	// exercised separately by the torn-record durable-log tests.)
 	env.churn.pause()
 	waitCaughtUp(rep2, env.log.Len(), 30*time.Second)
+	env.rec.Record("chaos", "killing primary endpoint %s", env.addrP)
 	env.srvP.Close()
 	time.Sleep(scriptStep)
 	primary2 := service.New()
@@ -535,6 +595,7 @@ func replicaChaosPhase(base BenchResult, env chaosEnv) []BenchResult {
 	srvP2 := replica.NewServer(primary2, env.log, replica.ServerOptions{})
 	rebind(srvP2, env.addrP)
 	defer srvP2.Close()
+	env.rec.Record("chaos", "primary restarted from its epoch log (%d records)", env.log.Len())
 	env.churn.primaryUp.Store(true)
 
 	// The replica reconnects to the restarted primary and resumes the
@@ -543,10 +604,37 @@ func replicaChaosPhase(base BenchResult, env chaosEnv) []BenchResult {
 	waitCaughtUp(rep2, target, 30*time.Second)
 	caughtUp := rep2.Applied() >= target
 
+	// Gauge-vs-truth check: quiesce the writer, drain the replica to the
+	// frozen log head, and the lag gauge must read exactly 0 — the
+	// scrape-time arithmetic (head − applied) agreeing with the ground
+	// truth the bench tracks itself.
+	env.churn.pause()
+	waitCaughtUp(rep2, env.log.Len(), 30*time.Second)
+	lag, lagFound := rep2.Metrics().GaugeValue("replica_lag_records")
+	applied, _ := rep2.Metrics().GaugeValue("replica_applied_records")
+	appliedTruth := rep2.Applied()
+	env.churn.primaryUp.Store(true)
+
 	time.Sleep(scriptStep)
 	stop.Store(true)
 	wg.Wait()
 	wall := time.Since(start)
+
+	reconnects, _ := rep2.Metrics().CounterValue("replica_reconnects_total")
+	obsRow := base
+	obsRow.Scheme = "replica-obs"
+	obsRow.Workers = 1
+	obsRow.Rounds = int(env.rec.Total())
+	// The lag gauge settled at 0, the applied gauge matches the bench's
+	// own count, the primary kill produced at least one recorded
+	// reconnect, and the flight recorder captured both the chaos phase
+	// transitions and the reconnects.
+	obsRow.Verified = lagFound && lag == 0 && int64(applied) == int64(appliedTruth) &&
+		reconnects >= 1 && recorderHasKind(env.rec, "chaos") && recorderHasKind(env.rec, "reconnect")
+	if !obsRow.Verified {
+		fmt.Fprintf(os.Stderr, "experiments: replica obs contract failed: lag=%v(found=%v) applied=%v(truth=%d) reconnects=%d events=%d\n",
+			lag, lagFound, applied, appliedTruth, reconnects, env.rec.Total())
+	}
 
 	slices.Sort(allLatencies)
 	total := int64(len(allLatencies))
@@ -586,7 +674,19 @@ func replicaChaosPhase(base BenchResult, env chaosEnv) []BenchResult {
 	catchupRow.Rounds = behind
 	catchupRow.Verified = caughtUp
 	out = append(out, catchupRow)
+	out = append(out, obsRow)
 	return out
+}
+
+// recorderHasKind reports whether the flight recorder retained at least
+// one event of the kind.
+func recorderHasKind(rec *obs.Recorder, kind string) bool {
+	for _, ev := range rec.Events() {
+		if ev.Kind == kind {
+			return true
+		}
+	}
+	return false
 }
 
 // rebind binds a server to a just-freed address, retrying while the OS

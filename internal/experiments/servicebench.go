@@ -113,8 +113,12 @@ func serviceBenchAt(c Config, n, queries int) []BenchResult {
 
 	var seqWall int64
 	for _, workers := range benchWorkers() {
+		q0 := svcQueries(svc)
 		row := queryRow(base, svc, graphID, fresh, workers, queries, nil)
 		row.Scheme = "advice-query"
+		// Metrics-vs-truth cross-check: the server's query counter must
+		// have moved by exactly the number of answers the clients got.
+		row.Verified = row.Verified && svcQueries(svc)-q0 == uint64(row.Queries)
 		if workers == 1 {
 			seqWall = row.WallNS
 		} else if row.WallNS > 0 {
@@ -161,8 +165,10 @@ func serviceBenchAt(c Config, n, queries int) []BenchResult {
 			}
 		}
 	}
+	q0 := svcQueries(svc)
 	churnRow := queryRow(base, svc, graphID, nil, 4, queries, churn)
 	churnRow.Scheme = "advice-query-churn"
+	churnRow.Verified = churnRow.Verified && svcQueries(svc)-q0 == uint64(churnRow.Queries)
 	// The writer's allocations (graph clone + advice copy per published
 	// epoch) land in this row's counters, and the number of epochs the
 	// writer manages to publish depends on how many cores the host gives
@@ -264,6 +270,13 @@ func queryRow(base BenchResult, svc *service.Service, graphID string,
 	row.Rounds = updates
 	row.Verified = bad.Load() == 0
 	return row
+}
+
+// svcQueries reads the service's lifetime query counter — the
+// server-side truth the query rows cross-check client counts against.
+func svcQueries(svc *service.Service) uint64 {
+	v, _ := svc.Metrics().CounterValue("service_queries_total")
+	return v
 }
 
 // adviceIdentical reports bit-identity of two assignments.

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (DESIGN.md §2.11). Families print in
+// registration order, series in registration order within a family, so
+// the output is deterministic for a deterministically wired process —
+// which is what lets a golden test pin the format.
+
+// WriteText writes the registry in Prometheus text format.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	type flat struct {
+		name   string
+		kind   metricKind
+		series []*series
+	}
+	fams := make([]flat, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		ss := make([]*series, 0, len(f.order))
+		for _, labels := range f.order {
+			ss = append(ss, f.series[labels])
+		}
+		fams = append(fams, flat{name: f.name, kind: f.kind, series: ss})
+	}
+	r.mu.Unlock() // render (and evaluate gauge funcs) outside the lock
+
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f.name, f.kind, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, name string, kind metricKind, s *series) error {
+	switch kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, s.labels, s.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, s.labels, s.g.Value())
+		return err
+	case kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatFloat(s.fn()))
+		return err
+	case kindHistogram:
+		return writeHistogram(w, name, s.labels, s.h.Snapshot())
+	}
+	return nil
+}
+
+// writeHistogram emits the conventional cumulative _bucket / _sum /
+// _count triplet. Only buckets up to the highest non-empty one are
+// listed (plus the mandatory +Inf) — a latency histogram's tail of 40
+// empty power-of-two buckets carries no information.
+func writeHistogram(w io.Writer, name, labels string, snap HistSnapshot) error {
+	top := 0
+	for i := range snap.Buckets {
+		if snap.Buckets[i] > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += snap.Buckets[i]
+		// Bucket i covers values < 2^i (bucket 0: the exact zeros), so
+		// its cumulative upper bound le is 2^i - 1 in integer units.
+		le := "0"
+		if i > 0 {
+			le = strconv.FormatUint(1<<uint(i)-1, 10)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, `le=`+strconv.Quote(le)), cum); err != nil {
+			return err
+		}
+	}
+	total := cum
+	for i := top + 1; i < numBuckets; i++ {
+		total += snap.Buckets[i]
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, `le="+Inf"`), total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, snap.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, total)
+	return err
+}
+
+// mergeLabels splices an extra label into a rendered label string.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(labels, "}") + "," + extra + "}"
+}
+
+// formatFloat renders gauge-func values without exponent noise for the
+// common cases (integral values, short decimals).
+func formatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the Prometheus text format byte for byte:
+// family ordering, label rendering, cumulative histogram buckets with
+// power-of-two upper bounds, suppressed empty tails, the +Inf bucket
+// and the _sum/_count pair.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total", "op", "read").Add(3)
+	reg.Counter("requests_total", "op", "write").Add(1)
+	reg.Gauge("log_records").Set(42)
+	reg.GaugeFunc("lag_records", func() float64 { return 2 })
+	h := reg.Histogram("op_latency_ns", "op", "decode")
+	for _, v := range []int64{0, 1, 3, 1000} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := `# TYPE requests_total counter
+requests_total{op="read"} 3
+requests_total{op="write"} 1
+# TYPE log_records gauge
+log_records 42
+# TYPE lag_records gauge
+lag_records 2
+# TYPE op_latency_ns histogram
+op_latency_ns_bucket{op="decode",le="0"} 1
+op_latency_ns_bucket{op="decode",le="1"} 2
+op_latency_ns_bucket{op="decode",le="3"} 3
+op_latency_ns_bucket{op="decode",le="7"} 3
+op_latency_ns_bucket{op="decode",le="15"} 3
+op_latency_ns_bucket{op="decode",le="31"} 3
+op_latency_ns_bucket{op="decode",le="63"} 3
+op_latency_ns_bucket{op="decode",le="127"} 3
+op_latency_ns_bucket{op="decode",le="255"} 3
+op_latency_ns_bucket{op="decode",le="511"} 3
+op_latency_ns_bucket{op="decode",le="1023"} 4
+op_latency_ns_bucket{op="decode",le="+Inf"} 4
+op_latency_ns_sum{op="decode"} 1004
+op_latency_ns_count{op="decode"} 4
+`
+	if b.String() != golden {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	}
+}
+
+// TestHistogramBucketsCumulative checks the le series is monotone
+// non-decreasing on a busy histogram — the invariant Prometheus
+// consumers (and the quantile math) rely on.
+func TestHistogramBucketsCumulative(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_ns")
+	for i := int64(1); i < 100_000; i *= 3 {
+		h.Observe(i)
+	}
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	prev := uint64(0)
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	buckets := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "lat_ns_bucket") {
+			continue
+		}
+		buckets++
+		v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket series regressed at %q (prev %d)", line, prev)
+		}
+		prev = v
+	}
+	if buckets == 0 {
+		t.Fatal("no bucket lines emitted")
+	}
+}
+
+// TestMetricsHandler: multiple registries concatenate on one /metrics.
+func TestMetricsHandler(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("alpha_total").Inc()
+	b.Gauge("beta").Set(-3)
+	srv := httptest.NewServer(MetricsHandler(a, nil, b))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	body := sb.String()
+	for _, want := range []string{"alpha_total 1", "beta -3", "# TYPE alpha_total counter"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}

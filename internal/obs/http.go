@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// HTTP exposition (DESIGN.md §2.11): GET /metrics concatenates any
+// number of registries (each serving component owns its own), GET
+// /v1/events serves the flight recorder as JSON. The daemon mounts both
+// next to net/http/pprof on its -debug-addr listener.
+
+// MetricsHandler serves the registries' Prometheus text exposition.
+func MetricsHandler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, reg := range regs {
+			if reg == nil {
+				continue
+			}
+			if err := reg.WriteText(w); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// EventsHandler serves the recorder's retained events as JSON:
+// {"total": N, "events": [...]}, oldest first.
+func EventsHandler(rec *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		events := rec.Events()
+		if events == nil {
+			events = []Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{"total": rec.Total(), "events": events})
+	})
+}

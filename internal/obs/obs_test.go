@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "op", "read")
+	b := reg.Counter("x_total", "op", "read")
+	if a != b {
+		t.Fatal("re-registering the same counter returned a new instance")
+	}
+	c := reg.Counter("x_total", "op", "write")
+	if a == c {
+		t.Fatal("different labels shared one counter")
+	}
+	a.Add(2)
+	if v, ok := reg.CounterValue("x_total", "op", "read"); !ok || v != 2 {
+		t.Fatalf("CounterValue = %d, %v; want 2, true", v, ok)
+	}
+	if _, ok := reg.CounterValue("x_total", "op", "missing"); ok {
+		t.Fatal("CounterValue found an unregistered series")
+	}
+}
+
+func TestRegistryLabelOrderCanonical(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("y_total", "a", "1", "b", "2")
+	b := reg.Counter("y_total", "b", "2", "a", "1")
+	if a != b {
+		t.Fatal("label order changed series identity; labels must canonicalize")
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one family under two kinds did not panic")
+		}
+	}()
+	reg.Gauge("z_total")
+}
+
+func TestGaugeMax(t *testing.T) {
+	var g Gauge
+	g.Max(5)
+	g.Max(3)
+	if g.Value() != 5 {
+		t.Fatalf("Max(3) lowered the gauge to %d", g.Value())
+	}
+	g.Max(9)
+	if g.Value() != 9 {
+		t.Fatalf("Max(9) = %d", g.Value())
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				g.Max(i * int64(w+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Value() != 999*8 {
+		t.Fatalf("concurrent Max = %d, want %d", g.Value(), 999*8)
+	}
+}
+
+func TestGaugeFuncScrape(t *testing.T) {
+	reg := NewRegistry()
+	behind := 7
+	reg.GaugeFunc("lag_records", func() float64 { return float64(behind) })
+	if v, ok := reg.GaugeValue("lag_records"); !ok || v != 7 {
+		t.Fatalf("GaugeValue = %g, %v; want 7, true", v, ok)
+	}
+	behind = 0
+	if v, _ := reg.GaugeValue("lag_records"); v != 0 {
+		t.Fatalf("GaugeValue after update = %g, want 0 (funcs must evaluate at scrape)", v)
+	}
+}
+
+func TestNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total")
+	reg.Gauge("a_gauge")
+	reg.Counter("b_total", "k", "v") // same family, no new name
+	got := reg.Names()
+	want := []string{"b_total", "a_gauge"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Names = %v, want %v (registration order)", got, want)
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one flight-recorder entry: a coarse kind for filtering
+// (publish, failover, reconnect, degraded, chaos, ...) and a formatted
+// detail line.
+type Event struct {
+	// Seq numbers events across the recorder's lifetime, including the
+	// ones the ring has already evicted, so a reader can tell "buffer
+	// wrapped" from "nothing happened".
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	Msg  string    `json:"msg"`
+}
+
+// Recorder is the bounded ring-buffer flight recorder (DESIGN.md
+// §2.11): the last N structured events of a serving process —
+// publishes, failovers, reconnects, degraded reads, chaos phase
+// transitions — kept cheaply at all times so that when the kill/restart
+// drill (or production) misbehaves, the recent history is already
+// captured. A nil *Recorder is a valid no-op sink: every component
+// takes one optionally and records unconditionally.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int    // ring write position
+	total uint64 // lifetime event count
+}
+
+// NewRecorder returns a recorder keeping the last n events (minimum 1).
+func NewRecorder(n int) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	return &Recorder{ring: make([]Event, 0, n)}
+}
+
+// Record appends one event. Safe on a nil recorder (drops the event).
+// This is not a hot-path primitive — it formats and takes a lock — so
+// callers record state transitions, not per-query traffic.
+func (r *Recorder) Record(kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	ev := Event{Time: time.Now(), Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	ev.Seq = r.total
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, ev)
+		r.next = len(r.ring) % cap(r.ring)
+		return
+	}
+	r.ring[r.next] = ev
+	r.next = (r.next + 1) % len(r.ring)
+}
+
+// Events returns the retained events, oldest first. Safe on nil.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.ring))
+	if len(r.ring) < cap(r.ring) {
+		return append(out, r.ring...)
+	}
+	out = append(out, r.ring[r.next:]...)
+	return append(out, r.ring[:r.next]...)
+}
+
+// Total returns the lifetime event count, including evicted events.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dump writes a human-readable transcript of the retained events — the
+// SIGQUIT sink. Safe on nil.
+func (r *Recorder) Dump(w io.Writer) {
+	if r == nil {
+		return
+	}
+	events := r.Events()
+	total := r.Total()
+	fmt.Fprintf(w, "=== flight recorder: %d event(s) retained, %d total ===\n", len(events), total)
+	for _, ev := range events {
+		fmt.Fprintf(w, "%6d %s [%s] %s\n", ev.Seq, ev.Time.Format(time.RFC3339Nano), ev.Kind, ev.Msg)
+	}
+	fmt.Fprintf(w, "=== end flight recorder ===\n")
+}

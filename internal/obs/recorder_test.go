@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 1; i <= 5; i++ {
+		r.Record("k", "event %d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	for i, want := range []string{"event 3", "event 4", "event 5"} {
+		if evs[i].Msg != want {
+			t.Errorf("events[%d] = %q, want %q (oldest first)", i, evs[i].Msg, want)
+		}
+	}
+	if evs[0].Seq != 3 || evs[2].Seq != 5 {
+		t.Errorf("seqs = %d..%d, want 3..5 (lifetime numbering survives eviction)", evs[0].Seq, evs[2].Seq)
+	}
+	if r.Total() != 5 {
+		t.Errorf("Total = %d, want 5", r.Total())
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record("k", "dropped")
+	if r.Events() != nil || r.Total() != 0 {
+		t.Fatal("nil recorder is not a silent sink")
+	}
+	r.Dump(&strings.Builder{}) // must not panic
+}
+
+func TestRecorderDump(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record("failover", "endpoint %s rotated out", "10.0.0.1:9371")
+	var b strings.Builder
+	r.Dump(&b)
+	out := b.String()
+	for _, want := range []string{"flight recorder: 1 event(s)", "[failover]", "10.0.0.1:9371"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventsHandler(t *testing.T) {
+	r := NewRecorder(4)
+	r.Record("publish", "graph g epoch 3")
+	srv := httptest.NewServer(EventsHandler(r))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Total != 1 || len(body.Events) != 1 || body.Events[0].Kind != "publish" {
+		t.Fatalf("events payload = %+v", body)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mstadvice/internal/bitstring"
+	"mstadvice/internal/obs"
 	"mstadvice/internal/store"
 )
 
@@ -40,7 +41,28 @@ type Answer struct {
 	Degraded  bool
 	Tier      *store.Snapshot
 	TierLevel int
+	// Diagnosis, on a Degraded answer, lists the terminal per-endpoint
+	// error each endpoint gave before the client fell back to the coarse
+	// tier — why the full read failed, per endpoint.
+	Diagnosis []EndpointError
 }
+
+// EndpointError is one endpoint's terminal error in a failed-over read.
+type EndpointError struct {
+	Endpoint string `json:"endpoint"`
+	Err      string `json:"err"`
+}
+
+// FailoverError wraps a failover's sentinel error (ErrDegraded,
+// ErrNotFound or the generic exhaustion error) with the terminal error
+// each attempted endpoint gave. errors.Is/As see through it.
+type FailoverError struct {
+	err       error
+	Diagnosis []EndpointError
+}
+
+func (e *FailoverError) Error() string { return e.err.Error() }
+func (e *FailoverError) Unwrap() error { return e.err }
 
 // TierAnswer is one coarse-tier read: a standalone flat snapshot.
 type TierAnswer struct {
@@ -65,6 +87,9 @@ type ClientOptions struct {
 	BackoffCap  time.Duration
 	// Seed feeds the deterministic jitter stream (0 means 1).
 	Seed uint64
+	// Recorder, when non-nil, receives failover and degraded-fallback
+	// events (nil-safe).
+	Recorder *obs.Recorder
 }
 
 // Client reads advice from a replicated endpoint set: round-robin load
@@ -75,6 +100,7 @@ type ClientOptions struct {
 type Client struct {
 	endpoints []string
 	opt       ClientOptions
+	met       *cliMetrics
 	next      atomic.Uint64
 	jitter    atomic.Uint64
 
@@ -107,6 +133,7 @@ func NewClient(endpoints []string, opt ClientOptions) (*Client, error) {
 	c := &Client{
 		endpoints: append([]string(nil), endpoints...),
 		opt:       opt,
+		met:       newCliMetrics(endpoints),
 		idle:      make(map[string][]*wireConn),
 		maxEpoch:  make(map[string]uint64),
 	}
@@ -207,11 +234,18 @@ func (c *Client) AdviceDegraded(ctx context.Context, id string, node int) (Answe
 	if !errors.Is(err, ErrDegraded) {
 		return ans, err
 	}
+	var fe *FailoverError
+	var diag []EndpointError
+	if errors.As(err, &fe) {
+		diag = fe.Diagnosis
+	}
 	tier, terr := c.Tier(ctx, id, 0)
 	if terr != nil {
 		return Answer{}, fmt.Errorf("%w (tier fallback also failed: %v)", err, terr)
 	}
-	return Answer{Node: node, Epoch: tier.Epoch, Degraded: true, Tier: tier.Snapshot, TierLevel: tier.Level}, nil
+	c.opt.Recorder.Record("degraded", "graph %s node %d: full advice refused by %d endpoint(s), served coarse tier %d@%d",
+		id, node, len(diag), tier.Level, tier.Epoch)
+	return Answer{Node: node, Epoch: tier.Epoch, Degraded: true, Tier: tier.Snapshot, TierLevel: tier.Level, Diagnosis: diag}, nil
 }
 
 // Epoch returns the primary-side epoch of id on any live endpoint.
@@ -258,6 +292,7 @@ func (e *wireErr) Error() string { return fmt.Sprintf("replica: remote error %d:
 func (c *Client) failover(ctx context.Context, attempt func(endpoint string) error) error {
 	var lastErr error
 	sawDegraded, sawNotFound := false, false
+	epErrs := make(map[string]error, len(c.endpoints))
 	backoff := c.opt.BackoffBase
 	// The rotation point is taken once per request, not per attempt:
 	// attempts then walk the endpoint list in order, so any run of
@@ -272,9 +307,11 @@ func (c *Client) failover(ctx context.Context, attempt func(endpoint string) err
 		}
 		ep := c.endpoints[(start+a)%len(c.endpoints)]
 		err := attempt(ep)
+		c.met.attempts[ep][classifyOutcome(err)].Inc()
 		if err == nil {
 			return nil
 		}
+		epErrs[ep] = err
 		var we *wireErr
 		if errors.As(err, &we) {
 			switch we.code {
@@ -290,6 +327,7 @@ func (c *Client) failover(ctx context.Context, attempt func(endpoint string) err
 		// One full cycle exhausted: back off before hammering the set
 		// again, with deterministic jitter in [½·backoff, backoff).
 		if (a+1)%len(c.endpoints) == 0 && a+1 < c.opt.Attempts {
+			c.met.rotations.Inc()
 			d := backoff/2 + time.Duration(c.rand()%uint64(backoff/2+1))
 			select {
 			case <-ctx.Done():
@@ -302,14 +340,26 @@ func (c *Client) failover(ctx context.Context, attempt func(endpoint string) err
 			}
 		}
 	}
+	// Terminal: every endpoint's last error rides along, in endpoint
+	// order, so callers (and the flight recorder) see why each one was
+	// unusable — not just whichever happened to fail last.
+	diag := make([]EndpointError, 0, len(c.endpoints))
+	for _, ep := range c.endpoints {
+		if e, ok := epErrs[ep]; ok {
+			diag = append(diag, EndpointError{Endpoint: ep, Err: e.Error()})
+		}
+	}
+	var err error
 	switch {
 	case sawDegraded:
-		return fmt.Errorf("%w: last error: %v", ErrDegraded, lastErr)
+		err = fmt.Errorf("%w: last error: %v", ErrDegraded, lastErr)
 	case sawNotFound:
-		return fmt.Errorf("%w: last error: %v", ErrNotFound, lastErr)
+		err = fmt.Errorf("%w: last error: %v", ErrNotFound, lastErr)
 	default:
-		return fmt.Errorf("replica: all %d attempts failed: %w", c.opt.Attempts, lastErr)
+		err = fmt.Errorf("replica: all %d attempts failed: %w", c.opt.Attempts, lastErr)
 	}
+	c.opt.Recorder.Record("failover", "read exhausted %d attempts over %d endpoint(s): %v", c.opt.Attempts, len(c.endpoints), err)
+	return &FailoverError{err: err, Diagnosis: diag}
 }
 
 // rand steps the shared SplitMix64 jitter stream.

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"mstadvice/internal/service"
 	"mstadvice/internal/store"
@@ -56,12 +57,13 @@ type Log struct {
 	f      *os.File // nil for an in-memory log
 	recs   []EpochRecord
 	notify chan struct{} // closed and replaced on every append
+	met    *logMetrics
 }
 
 // OpenLog opens (or creates) the durable epoch log at path; an empty
 // path yields a purely in-memory log.
 func OpenLog(path string) (*Log, error) {
-	l := &Log{notify: make(chan struct{})}
+	l := &Log{notify: make(chan struct{}), met: newLogMetrics()}
 	if path == "" {
 		return l, nil
 	}
@@ -89,6 +91,7 @@ func OpenLog(path string) (*Log, error) {
 			l.recs = append(l.recs, rec)
 			good = len(data) - br.Buffered() - under.Len()
 		}
+		l.met.records.Set(int64(len(l.recs)))
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
@@ -110,6 +113,7 @@ func OpenLog(path string) (*Log, error) {
 // the record becomes visible to readers and tailing subscribers, so a
 // replica can never observe an epoch the primary could lose in a crash.
 func (l *Log) Append(rec EpochRecord) error {
+	t0 := time.Now()
 	frame := store.AppendRecord(nil, rec.appendPayload(nil))
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -117,13 +121,18 @@ func (l *Log) Append(rec EpochRecord) error {
 		if _, err := l.f.Write(frame); err != nil {
 			return err
 		}
+		tSync := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return err
 		}
+		l.met.fsyncLatency.ObserveSince(tSync)
 	}
 	l.recs = append(l.recs, rec)
 	close(l.notify)
 	l.notify = make(chan struct{})
+	l.met.records.Set(int64(len(l.recs)))
+	l.met.bytes.Add(uint64(len(frame)))
+	l.met.appendLatency.ObserveSince(t0)
 	return nil
 }
 

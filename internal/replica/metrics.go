@@ -1,0 +1,162 @@
+package replica
+
+import (
+	"errors"
+	"net"
+
+	"mstadvice/internal/obs"
+)
+
+// Replica-tier metric sets (DESIGN.md §2.11). Each component — Server,
+// Log, Replica, Client — owns one obs.Registry created at construction
+// and exposed via a Metrics method; the daemon concatenates whichever
+// registries its role instantiates onto one /metrics endpoint. Every
+// series is pre-registered here so the serving and replication paths
+// never touch a registry lock.
+
+// serverOps are the wire opcodes a Server answers, by exposition name.
+var serverOps = []string{"advice", "tier", "info", "tail", "unknown"}
+
+// frameResults classify one answered frame.
+var frameResults = []string{"ok", "error"}
+
+type srvMetrics struct {
+	reg *obs.Registry
+
+	// frames[op][result] counts answered request frames; replyBytes[op]
+	// sums the reply payload bytes (excluding record framing).
+	frames     map[string]map[string]*obs.Counter
+	replyBytes map[string]*obs.Counter
+
+	// tailSessions tracks live tail subscriptions; tailRecords counts
+	// log records streamed to followers across all sessions.
+	tailSessions *obs.Gauge
+	tailRecords  *obs.Counter
+}
+
+func newSrvMetrics() *srvMetrics {
+	reg := obs.NewRegistry()
+	m := &srvMetrics{
+		reg:          reg,
+		frames:       make(map[string]map[string]*obs.Counter, len(serverOps)),
+		replyBytes:   make(map[string]*obs.Counter, len(serverOps)),
+		tailSessions: reg.Gauge("replica_server_tail_sessions"),
+		tailRecords:  reg.Counter("replica_server_tail_records_total"),
+	}
+	for _, op := range serverOps {
+		m.frames[op] = make(map[string]*obs.Counter, len(frameResults))
+		for _, res := range frameResults {
+			m.frames[op][res] = reg.Counter("replica_server_frames_total", "op", op, "result", res)
+		}
+		m.replyBytes[op] = reg.Counter("replica_server_reply_bytes_total", "op", op)
+	}
+	return m
+}
+
+// frame records one answered request frame and its reply size.
+func (m *srvMetrics) frame(op, result string, replyLen int) {
+	m.frames[op][result].Inc()
+	m.replyBytes[op].Add(uint64(replyLen))
+}
+
+// opName maps a wire opcode byte to its exposition label.
+func opName(op byte) string {
+	switch op {
+	case opAdvice:
+		return "advice"
+	case opTier:
+		return "tier"
+	case opInfo:
+		return "info"
+	case opTail:
+		return "tail"
+	default:
+		return "unknown"
+	}
+}
+
+// Metrics returns the endpoint's metric registry.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
+
+type logMetrics struct {
+	reg *obs.Registry
+
+	appendLatency *obs.Histogram
+	fsyncLatency  *obs.Histogram
+	records       *obs.Gauge
+	bytes         *obs.Counter
+}
+
+func newLogMetrics() *logMetrics {
+	reg := obs.NewRegistry()
+	return &logMetrics{
+		reg:           reg,
+		appendLatency: reg.Histogram("replica_log_append_latency_ns"),
+		fsyncLatency:  reg.Histogram("replica_log_fsync_latency_ns"),
+		records:       reg.Gauge("replica_log_records"),
+		bytes:         reg.Counter("replica_log_bytes_total"),
+	}
+}
+
+// Metrics returns the log's metric registry.
+func (l *Log) Metrics() *obs.Registry { return l.met.reg }
+
+// clientOutcomes classify one failover attempt (see classifyOutcome).
+var clientOutcomes = []string{"ok", "stale", "degraded", "not_found", "timeout", "net_error", "bad"}
+
+type cliMetrics struct {
+	reg *obs.Registry
+
+	// attempts[endpoint][outcome] counts individual request attempts;
+	// rotations counts exhausted full cycles over the endpoint set (each
+	// one precedes a jittered backoff sleep).
+	attempts  map[string]map[string]*obs.Counter
+	rotations *obs.Counter
+}
+
+func newCliMetrics(endpoints []string) *cliMetrics {
+	reg := obs.NewRegistry()
+	m := &cliMetrics{
+		reg:       reg,
+		attempts:  make(map[string]map[string]*obs.Counter, len(endpoints)),
+		rotations: reg.Counter("replica_client_rotations_total"),
+	}
+	for _, ep := range endpoints {
+		m.attempts[ep] = make(map[string]*obs.Counter, len(clientOutcomes))
+		for _, out := range clientOutcomes {
+			m.attempts[ep][out] = reg.Counter("replica_client_attempts_total", "endpoint", ep, "outcome", out)
+		}
+	}
+	return m
+}
+
+// Metrics returns the client's metric registry.
+func (c *Client) Metrics() *obs.Registry { return c.met.reg }
+
+// classifyOutcome buckets one attempt's error for the per-endpoint
+// outcome counters: ok, stale (monotone-epoch violation), degraded /
+// not_found / bad (wire error codes), timeout, net_error.
+func classifyOutcome(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	var we *wireErr
+	if errors.As(err, &we) {
+		switch we.code {
+		case codeDegraded:
+			return "degraded"
+		case codeNotFound:
+			return "not_found"
+		default:
+			return "bad"
+		}
+	}
+	if errors.Is(err, ErrStale) {
+		return "stale"
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return "timeout"
+	}
+	return "net_error"
+}

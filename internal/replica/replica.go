@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mstadvice/internal/obs"
 	"mstadvice/internal/service"
 	"mstadvice/internal/store"
 )
@@ -53,6 +54,14 @@ type ReplicaOptions struct {
 	// restarted replica resumes from its own log instead of refetching
 	// the full history.
 	Log *Log
+	// Head, when non-nil, reports the primary's log length, turning the
+	// replica_lag_records gauge into true epochs-behind (scrape-time
+	// evaluated). In-process harnesses pass the primary log's Len; a
+	// remote follower without a head oracle leaves it nil and the gauge
+	// reads -1 (unknown).
+	Head func() int
+	// Recorder, when non-nil, receives reconnect events (nil-safe).
+	Recorder *obs.Recorder
 }
 
 // Replica tails a primary's epoch log and publishes each record into
@@ -64,8 +73,11 @@ type Replica struct {
 	primary string
 	opts    ReplicaOptions
 
-	applied atomic.Int64
-	lastErr atomic.Value // string
+	applied    atomic.Int64
+	lastApply  atomic.Int64 // unix nanos of the last applied record; 0 = never
+	lastErr    atomic.Value // string
+	met        *obs.Registry
+	reconnects *obs.Counter
 }
 
 // NewReplica builds a follower of the primary at addr publishing into
@@ -81,8 +93,33 @@ func NewReplica(svc *service.Service, addr string, opts ReplicaOptions) *Replica
 	if opts.ReconnectCap <= 0 {
 		opts.ReconnectCap = 2 * time.Second
 	}
-	return &Replica{svc: svc, primary: addr, opts: opts}
+	r := &Replica{svc: svc, primary: addr, opts: opts, met: obs.NewRegistry()}
+	r.reconnects = r.met.Counter("replica_reconnects_total")
+	r.met.GaugeFunc("replica_applied_records", func() float64 {
+		return float64(r.applied.Load())
+	})
+	r.met.GaugeFunc("replica_lag_records", func() float64 {
+		if r.opts.Head == nil {
+			return -1
+		}
+		lag := int64(r.opts.Head()) - r.applied.Load()
+		if lag < 0 {
+			lag = 0
+		}
+		return float64(lag)
+	})
+	r.met.GaugeFunc("replica_last_apply_age_seconds", func() float64 {
+		t := r.lastApply.Load()
+		if t == 0 {
+			return -1
+		}
+		return time.Since(time.Unix(0, t)).Seconds()
+	})
+	return r
 }
+
+// Metrics returns the follower's metric registry.
+func (r *Replica) Metrics() *obs.Registry { return r.met }
 
 // ReplayLocal publishes the local log's records into the service and
 // fast-forwards the tail position past them.
@@ -128,6 +165,8 @@ func (r *Replica) Run(ctx context.Context) {
 		}
 		if err != nil {
 			r.lastErr.Store(err.Error())
+			r.reconnects.Inc()
+			r.opts.Recorder.Record("reconnect", "replica tail of %s dropped (applied %d): %v", r.primary, r.applied.Load(), err)
 		}
 		select {
 		case <-ctx.Done():
@@ -178,5 +217,6 @@ func (r *Replica) tailOnce(ctx context.Context) error {
 			}
 		}
 		r.applied.Add(1)
+		r.lastApply.Store(time.Now().UnixNano())
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
 	"mstadvice/internal/hier"
+	"mstadvice/internal/obs"
 	"mstadvice/internal/service"
 	"mstadvice/internal/store"
 )
@@ -496,7 +498,8 @@ func TestClientDegradedFallback(t *testing.T) {
 	}
 	defer srv.Close()
 
-	cli, err := NewClient([]string{srv.Addr()}, ClientOptions{BackoffBase: time.Millisecond})
+	rec := obs.NewRecorder(16)
+	cli, err := NewClient([]string{srv.Addr()}, ClientOptions{BackoffBase: time.Millisecond, Recorder: rec})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -511,6 +514,28 @@ func TestClientDegradedFallback(t *testing.T) {
 	}
 	if !ans.Degraded || ans.Tier == nil {
 		t.Fatalf("degraded answer missing tier snapshot: %+v", ans)
+	}
+	// The degraded answer carries the terminal per-endpoint error list:
+	// which endpoint refused full advice, and why.
+	if len(ans.Diagnosis) != 1 || ans.Diagnosis[0].Endpoint != srv.Addr() {
+		t.Fatalf("degraded diagnosis = %+v, want the one tier-only endpoint", ans.Diagnosis)
+	}
+	if !strings.Contains(ans.Diagnosis[0].Err, "tier") {
+		t.Errorf("diagnosis error %q does not name the tier-only refusal", ans.Diagnosis[0].Err)
+	}
+	// And the flight recorder saw the fallback.
+	degradedEvents := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == "degraded" {
+			degradedEvents++
+		}
+	}
+	if degradedEvents == 0 {
+		t.Error("flight recorder captured no degraded event")
+	}
+	// Per-endpoint outcome counters classified the refusals.
+	if v, ok := cli.Metrics().CounterValue("replica_client_attempts_total", "endpoint", srv.Addr(), "outcome", "degraded"); !ok || v == 0 {
+		t.Errorf("replica_client_attempts_total{outcome=degraded} = %d, %v; want > 0", v, ok)
 	}
 	want, _, err := svc.Tier("g", 0)
 	if err != nil {

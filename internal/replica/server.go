@@ -33,6 +33,7 @@ type Server struct {
 	svc  *service.Service
 	log  *Log
 	opts ServerOptions
+	met  *srvMetrics
 
 	ln   net.Listener
 	stop chan struct{}
@@ -46,7 +47,7 @@ type Server struct {
 // NewServer wraps a service (and optionally its epoch log, required for
 // tail subscriptions) for wire serving.
 func NewServer(svc *service.Service, log *Log, opts ServerOptions) *Server {
-	return &Server{svc: svc, log: log, opts: opts, stop: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+	return &Server{svc: svc, log: log, opts: opts, met: newSrvMetrics(), stop: make(chan struct{}), conns: make(map[net.Conn]struct{})}
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts the accept loop.
@@ -140,6 +141,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		c := &cursor{b: payload[1:]}
+		op := opName(payload[0])
 		var reply []byte
 		switch payload[0] {
 		case opAdvice:
@@ -149,11 +151,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		case opInfo:
 			reply = s.handleInfo(c)
 		case opTail:
+			s.met.tailSessions.Add(1)
 			s.streamLog(conn, c)
+			s.met.tailSessions.Add(-1)
 			return
 		default:
 			reply = errReply(codeBad, "unknown opcode")
 		}
+		result := "ok"
+		if len(reply) > 0 && reply[0] == rErr {
+			result = "error"
+		}
+		s.met.frame(op, result, len(reply))
 		if !s.writeFrame(conn, reply) {
 			return
 		}
@@ -257,21 +266,27 @@ func serviceErrReply(err error) []byte {
 // guarantee.
 func (s *Server) streamLog(conn net.Conn, c *cursor) {
 	if s.log == nil {
+		s.met.frame("tail", "error", 0)
 		s.writeFrame(conn, errReply(codeBad, "endpoint serves no epoch log"))
 		return
 	}
 	after, err := c.uvarint("tail index")
 	if err != nil {
+		s.met.frame("tail", "error", 0)
 		s.writeFrame(conn, errReply(codeBad, err.Error()))
 		return
 	}
+	s.met.frame("tail", "ok", 0)
 	for i := int(after); ; i++ {
 		if !s.log.WaitFor(i, s.stop) {
 			return
 		}
 		rec := s.log.At(i)
-		if !s.writeFrame(conn, rec.appendPayload(nil)) {
+		frame := rec.appendPayload(nil)
+		if !s.writeFrame(conn, frame) {
 			return
 		}
+		s.met.tailRecords.Inc()
+		s.met.replyBytes["tail"].Add(uint64(len(frame)))
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mstadvice/internal/advice"
 	"mstadvice/internal/bitstring"
@@ -183,9 +184,9 @@ type shard struct {
 type Service struct {
 	shards [numShards]shard
 
-	queries atomic.Uint64
-	decodes atomic.Uint64
-	updates atomic.Uint64
+	// met is the service's metric set (DESIGN.md §2.11); the lifetime
+	// Stats counters are views over it.
+	met *svcMetrics
 
 	// hookMu guards hooks; reads on the publish path take it shared.
 	hookMu sync.RWMutex
@@ -215,6 +216,7 @@ func (s *Service) OnPublish(fn func(id string, ep *Epoch)) {
 }
 
 func (s *Service) firePublish(id string, ep *Epoch) {
+	s.met.shardEpochMax[shardIndex(id)].Max(int64(ep.Seq))
 	s.hookMu.RLock()
 	hooks := s.hooks
 	s.hookMu.RUnlock()
@@ -225,17 +227,21 @@ func (s *Service) firePublish(id string, ep *Epoch) {
 
 // New returns an empty service.
 func New() *Service {
-	s := &Service{}
+	s := &Service{met: newSvcMetrics()}
 	for i := range s.shards {
 		s.shards[i].entries = make(map[string]*entry)
 	}
 	return s
 }
 
-func (s *Service) shardFor(id string) *shard {
+func shardIndex(id string) uint32 {
 	h := fnv.New32a()
 	h.Write([]byte(id))
-	return &s.shards[h.Sum32()%numShards]
+	return h.Sum32() % numShards
+}
+
+func (s *Service) shardFor(id string) *shard {
+	return &s.shards[shardIndex(id)]
 }
 
 // Register publishes a snapshot under the given ID. Snapshots without a
@@ -245,6 +251,7 @@ func (s *Service) shardFor(id string) *shard {
 // must not be mutated by the caller afterwards: the service takes
 // ownership.
 func (s *Service) Register(id string, snap *store.Snapshot) error {
+	t0 := time.Now()
 	if id == "" {
 		return fmt.Errorf("service: empty graph ID")
 	}
@@ -292,7 +299,9 @@ func (s *Service) Register(id string, snap *store.Snapshot) error {
 	}
 	sh.entries[id] = e
 	sh.mu.Unlock()
+	s.met.shardEntries[shardIndex(id)].Add(1)
 	s.firePublish(id, first)
+	s.met.op("register", t0)
 	return nil
 }
 
@@ -306,6 +315,7 @@ func (s *Service) Register(id string, snap *store.Snapshot) error {
 // publication of a graph accepts any seq (a log compacted or joined
 // mid-history still replays in order from its own first record).
 func (s *Service) Publish(id string, snap *store.Snapshot, seq uint64) error {
+	t0 := time.Now()
 	if snap == nil || snap.Graph == nil || snap.Graph.N() == 0 {
 		return fmt.Errorf("service: empty snapshot published for %q", id)
 	}
@@ -337,7 +347,9 @@ func (s *Service) Publish(id string, snap *store.Snapshot, seq uint64) error {
 		defer e.mu.Unlock()
 		sh.entries[id] = e
 		sh.mu.Unlock()
+		s.met.shardEntries[shardIndex(id)].Add(1)
 		s.firePublish(id, ep)
+		s.met.op("publish", t0)
 		return nil
 	}
 	sh.mu.Unlock()
@@ -354,8 +366,9 @@ func (s *Service) Publish(id string, snap *store.Snapshot, seq uint64) error {
 	// its live graph no longer matches the entry's history.
 	e.adv = nil
 	e.cur.Store(ep)
-	s.updates.Add(1)
+	s.met.updates.Inc()
 	s.firePublish(id, ep)
+	s.met.op("publish", t0)
 	return nil
 }
 
@@ -369,6 +382,7 @@ func (s *Service) Drop(id string) bool {
 		return false
 	}
 	delete(sh.entries, id)
+	s.met.shardEntries[shardIndex(id)].Add(-1)
 	return true
 }
 
@@ -405,7 +419,7 @@ func (s *Service) Advice(id string, node int) (AdviceReply, error) {
 	if node < 0 || node >= len(ep.Advice) {
 		return AdviceReply{}, fmt.Errorf("service: node %d out of range [0,%d) in graph %q", node, len(ep.Advice), id)
 	}
-	s.queries.Add(1)
+	s.met.queries.Inc()
 	a := ep.Advice[node]
 	return AdviceReply{Node: node, Bits: a.String(), Len: a.Len(), Epoch: ep.Seq}, nil
 }
@@ -421,7 +435,7 @@ func (s *Service) AdviceBits(id string, node int) (*bitstring.BitString, uint64,
 	if node < 0 || node >= len(ep.Advice) {
 		return nil, 0, fmt.Errorf("service: node %d out of range [0,%d) in graph %q", node, len(ep.Advice), id)
 	}
-	s.queries.Add(1)
+	s.met.queries.Inc()
 	return ep.Advice[node], ep.Seq, nil
 }
 
@@ -506,7 +520,7 @@ func (s *Service) TierSnapshot(id string, level int) (TierReply, error) {
 	for i, oe := range tier.OrigEdge {
 		orig[i] = int(oe)
 	}
-	s.queries.Add(1)
+	s.met.queries.Inc()
 	return TierReply{
 		Level: tier.Level, N: tier.Graph.N(), M: tier.Graph.M(), Root: int(tier.Root),
 		Epoch: ep.Seq, OrigEdges: orig, Snapshot: blob,
@@ -535,12 +549,14 @@ func (s *Service) DecodeSession(ctx context.Context, id string) (*Session, error
 	ep.decodeMu.Lock()
 	defer ep.decodeMu.Unlock()
 	if ep.session == nil {
+		t0 := time.Now()
 		sess, err := decodeEpoch(ctx, e.prob, ep)
 		if err != nil {
 			return nil, err
 		}
 		ep.session = sess
-		s.decodes.Add(1)
+		s.met.decodes.Inc()
+		s.met.op("decode", t0)
 	}
 	return ep.session, nil
 }
@@ -577,10 +593,12 @@ func decodeEpoch(ctx context.Context, prob problem.Problem, ep *Epoch) (*Session
 // Verify decodes the current epoch (cached) and reports whether the
 // stored advice reconstructs the exact rooted MST.
 func (s *Service) Verify(ctx context.Context, id string) (bool, error) {
+	t0 := time.Now()
 	sess, err := s.DecodeSession(ctx, id)
 	if err != nil {
 		return false, err
 	}
+	s.met.op("verify", t0)
 	return sess.Verified, nil
 }
 
@@ -590,6 +608,7 @@ func (s *Service) Verify(ctx context.Context, id string) (bool, error) {
 // serialize; the first update pays the advisor construction (one oracle
 // + sensitivity run seeded from the current epoch).
 func (s *Service) Update(ctx context.Context, id string, b graph.Batch) (*UpdateReply, error) {
+	t0 := time.Now()
 	e, err := s.lookup(id)
 	if err != nil {
 		return nil, err
@@ -616,8 +635,9 @@ func (s *Service) Update(ctx context.Context, id string, b graph.Batch) (*Update
 		// cannot carry meaningful ones, so none are rebuilt here.
 		next := &Epoch{Seq: prev.Seq + 1, Problem: prev.Problem, Cap: prev.Cap, Root: prev.Root, Graph: g, Advice: adviceBits}
 		e.cur.Store(next)
-		s.updates.Add(1)
+		s.met.updates.Inc()
 		s.firePublish(id, next)
+		s.met.op("update", t0)
 		return &UpdateReply{Epoch: next.Seq, Incremental: false, Reencoded: g.N()}, nil
 	}
 	if e.adv == nil {
@@ -664,8 +684,9 @@ func (s *Service) Update(ctx context.Context, id string, b graph.Batch) (*Update
 		next.Tiers = tiers
 	}
 	e.cur.Store(next)
-	s.updates.Add(1)
+	s.met.updates.Inc()
 	s.firePublish(id, next)
+	s.met.op("update", t0)
 	reply := &UpdateReply{Epoch: next.Seq, Incremental: res.Incremental, Reencoded: len(res.Changed)}
 	return reply, nil
 }
@@ -716,9 +737,9 @@ func (s *Service) StatsNow() Stats {
 		sh.mu.RUnlock()
 	}
 	return Stats{
-		Queries:    s.queries.Load(),
-		Decodes:    s.decodes.Load(),
-		Updates:    s.updates.Load(),
+		Queries:    s.met.queries.Value(),
+		Decodes:    s.met.decodes.Value(),
+		Updates:    s.met.updates.Value(),
 		Registered: registered,
 	}
 }
