@@ -79,6 +79,7 @@ func main() {
 		serviceQueries = flag.Int("service-queries", 0, "closed-loop query count per -bench-service row (0 = default)")
 		benchBase      = flag.String("bench-baseline", "", "compare benchmark rows against this committed baseline JSON and fail on regression")
 		benchFactor    = flag.Float64("bench-max-factor", 2.0, "regression threshold for -bench-baseline (ratio to baseline)")
+		speedupFloor   = flag.Float64("speedup-floor", 0, "with -bench-oracle: fail unless the 8-worker rows at the largest n report at least this speedup (0 = off)")
 	)
 	flag.Parse()
 
@@ -153,6 +154,9 @@ func main() {
 				fail("%v", err)
 			}
 			fmt.Printf("wrote %d benchmark rows to %s\n", len(rows), *benchOracle)
+			if err := experiments.CheckSpeedupFloor(rows, 8, *speedupFloor); err != nil {
+				fail("speedup floor: %v", err)
+			}
 			all = append(all, rows...)
 		}
 		if *benchService != "" {

@@ -46,6 +46,10 @@ var facadeFor = map[string]any{
 	"replica.Client.Advice":        (*mstadvice.ReplicaClient).Advice,
 	"chaos.Proxy":                  mstadvice.NewChaosProxy,
 	"chaos.Schedule":               mstadvice.ChaosSchedule{},
+	"gen.BuildSeeded":              mstadvice.GenSeeded,
+	"graph.FromEdgeList":           mstadvice.GenSeeded,           // the seeded build path constructs through it
+	"par.Steal":                    mstadvice.DecomposeOpt,        // the phase kernel's min-edge scans run on it
+	"boruvka.NewStream":            mstadvice.MSTProblem().Encode, // the fused encoder streams through it
 }
 
 // symbolRe matches backtick-quoted internal symbols of the form

@@ -37,7 +37,7 @@ package boruvka
 
 import (
 	"fmt"
-	"slices"
+	"sync/atomic"
 
 	"mstadvice/internal/graph"
 	"mstadvice/internal/mst"
@@ -220,12 +220,200 @@ func Decompose(g *graph.Graph, root graph.NodeID) (*Decomposition, error) {
 // DecomposeOpt is Decompose with an explicit worker count and phase
 // retention; the result is byte-identical for any Options.Workers.
 func DecomposeOpt(g *graph.Graph, root graph.NodeID, opt Options) (*Decomposition, error) {
+	d, raws, workers, err := decomposePass1(g, root, opt)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+
+	// ---- Pass 2: enrich every recorded phase with roots, levels,
+	// orientations and BFS orders, all defined relative to the final
+	// rooted tree T. Each phase's fragment BFS orders (and child
+	// segments) live in flat per-phase arenas sliced by the member
+	// offsets, and fragments are annotated in parallel — they touch
+	// disjoint node sets.
+	for pi := range raws {
+		raw := &raws[pi]
+		nf := len(raw.memOff) - 1
+		ph := Phase{Index: pi + 1, FragOf: raw.fragOf}
+		frags := make([]Fragment, nf)
+		for f := 0; f < nf; f++ {
+			frags[f] = Fragment{
+				ID:     FragID(f),
+				Nodes:  raw.memFlat[raw.memOff[f]:raw.memOff[f+1]:raw.memOff[f+1]],
+				Active: raw.active[f],
+			}
+		}
+		d.annotate(frags, raw.fragOf, raw.memOff, raw.memFlat, workers)
+		// Selections live in one per-phase slab instead of one allocation
+		// per selecting fragment (phase 1 alone has ~n of them).
+		nSel := 0
+		for f := 0; f < nf; f++ {
+			if raw.selEdge[f] != -1 {
+				nSel++
+			}
+		}
+		selSlab := make([]Selection, 0, nSel)
+		for f := 0; f < nf; f++ {
+			e := raw.selEdge[f]
+			if e == -1 {
+				continue
+			}
+			chooser := raw.selChooser[f]
+			selSlab = append(selSlab, Selection{
+				Chooser: chooser,
+				Edge:    e,
+				Up:      d.ParentEdge[chooser] == e,
+			})
+			frags[f].Sel = &selSlab[len(selSlab)-1]
+		}
+		ph.Fragments = frags
+		d.Phases = append(d.Phases, ph)
+	}
+
+	// Final single fragment.
+	finalNodes := make([]graph.NodeID, n)
+	for u := range finalNodes {
+		finalNodes[u] = graph.NodeID(u)
+	}
+	finalFragOf := make([]FragID, n)
+	finalOff := []int32{0, int32(n)}
+	final := []Fragment{{ID: 0, Nodes: finalNodes, Active: false}}
+	d.annotate(final, finalFragOf, finalOff, finalNodes, workers)
+	d.Final = final[0]
+
+	return d, nil
+}
+
+// StreamVisit is one annotated fragment as DecomposeStream delivers it.
+// BFS is a view into a per-phase arena that stays valid after the
+// stream completes; Sel is meaningful only when HasSel is set. Final
+// marks the fragments of the partition the fused oracle treats as the
+// final stage — the KeepPhases-th recorded phase when the run reaches
+// it, otherwise the synthesized single spanning fragment.
+type StreamVisit struct {
+	Phase  int // 1-based phase index the partition belongs to
+	Frag   int // dense fragment ID within the phase
+	Final  bool
+	Active bool
+	Root   graph.NodeID
+	Level  int
+	BFS    []graph.NodeID
+	HasSel bool
+	Sel    Selection
+}
+
+// Stream is a decomposition whose pass 2 has not run yet. D's flat
+// outputs (TreeEdges, ParentPort, ParentEdge, SelPhase, TotalPhases,
+// Tower) are complete on return from NewStream, so a consumer may read
+// them while its Run visitor streams the annotated fragments; D never
+// grows Phases or Final records (NumPhases() stays 0).
+type Stream struct {
+	D       *Decomposition
+	raws    []rawPhase
+	keep    int
+	workers int
+}
+
+// NewStream runs pass 1 of the construction (identical to DecomposeOpt)
+// and defers annotation to Run. See DESIGN.md §2.12.
+func NewStream(g *graph.Graph, root graph.NodeID, opt Options) (*Stream, error) {
+	d, raws, workers, err := decomposePass1(g, root, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{D: d, raws: raws, keep: opt.KeepPhases, workers: workers}, nil
+}
+
+// Run fuses pass 2 with its consumer: instead of materialising Phase
+// and Fragment records, each annotated fragment is handed to visit
+// exactly once, in ascending phase order with a barrier between phases.
+// Within a phase, visits run concurrently across fragments (visit
+// receives the worker index for per-worker scratch and must only touch
+// fragment-local or worker-local state); a visit error aborts the
+// stream with the lowest (phase, fragment) failure, matching sequential
+// semantics. BFS views land in per-phase arenas and stay valid after
+// the stream completes.
+//
+// Phases 1..min(KeepPhases, TotalPhases) are streamed (all phases when
+// KeepPhases <= 0). The phase numbered KeepPhases is flagged Final; if
+// the run completes before reaching it, the single spanning fragment is
+// synthesized and streamed as phase TotalPhases+1 with Final set — the
+// same partition FragmentsAtStart(NumPhases()+1) exposes on the rich
+// path.
+func (s *Stream) Run(visit func(w int, v StreamVisit) error) error {
+	d := s.D
+	for pi := range s.raws {
+		raw := &s.raws[pi]
+		isFinal := s.keep > 0 && pi+1 == s.keep
+		err := d.annotateRaw(raw.memOff, raw.memFlat, raw.fragOf, s.workers, func(w, fi int, v fragView) error {
+			sv := StreamVisit{
+				Phase:  pi + 1,
+				Frag:   fi,
+				Final:  isFinal,
+				Active: raw.active[fi],
+				Root:   v.root,
+				Level:  v.level,
+				BFS:    v.bfs,
+			}
+			if e := raw.selEdge[fi]; e != -1 {
+				ch := raw.selChooser[fi]
+				sv.HasSel = true
+				sv.Sel = Selection{Chooser: ch, Edge: e, Up: d.ParentEdge[ch] == e}
+			}
+			return visit(w, sv)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if s.keep <= 0 || len(s.raws) < s.keep {
+		// The run ended inside the retention budget: stream the spanning
+		// fragment as the final stage.
+		n := d.G.N()
+		finalNodes := make([]graph.NodeID, n)
+		for u := range finalNodes {
+			finalNodes[u] = graph.NodeID(u)
+		}
+		finalFragOf := make([]FragID, n)
+		finalOff := []int32{0, int32(n)}
+		return d.annotateRaw(finalOff, finalNodes, finalFragOf, s.workers, func(w, fi int, v fragView) error {
+			return visit(w, StreamVisit{
+				Phase: d.TotalPhases + 1,
+				Frag:  0,
+				Final: true,
+				Root:  v.root,
+				Level: v.level,
+				BFS:   v.bfs,
+			})
+		})
+	}
+	return nil
+}
+
+// DecomposeStream is NewStream followed by Run, for consumers that need
+// nothing from the Decomposition before the visits start.
+func DecomposeStream(g *graph.Graph, root graph.NodeID, opt Options, visit func(w int, v StreamVisit) error) (*Decomposition, error) {
+	s, err := NewStream(g, root, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Run(visit); err != nil {
+		return nil, err
+	}
+	return s.D, nil
+}
+
+// decomposePass1 runs the merge simulation (pass 1) and builds the flat
+// outputs and shared annotation scratch: everything both the rich and
+// the streaming pass-2 consumers need.
+func decomposePass1(g *graph.Graph, root graph.NodeID, opt Options) (*Decomposition, []rawPhase, int, error) {
 	n := g.N()
 	if n == 0 {
-		return nil, fmt.Errorf("boruvka: empty graph")
+		return nil, nil, 0, fmt.Errorf("boruvka: empty graph")
 	}
 	if int(root) < 0 || int(root) >= n {
-		return nil, fmt.Errorf("boruvka: root %d out of range", root)
+		return nil, nil, 0, fmt.Errorf("boruvka: root %d out of range", root)
 	}
 	m := g.M()
 	workers := par.Workers(opt.Workers)
@@ -241,8 +429,10 @@ func DecomposeOpt(g *graph.Graph, root graph.NodeID, opt Options) (*Decompositio
 	edgeLess := func(a, b int32) bool { return keys[a].Less(keys[b]) }
 
 	// Live edge list with contracted endpoints. Before phase 1 fragments
-	// are singletons, so fragment IDs coincide with node IDs.
+	// are singletons, so fragment IDs coincide with node IDs. liveBuf is
+	// the double buffer the parallel compaction ping-pongs into.
 	live := make([]liveEdge, m)
+	liveBuf := make([]liveEdge, m)
 	par.Ranges(workers, m, func(_, lo, hi int) {
 		for ei := lo; ei < hi; ei++ {
 			rec := g.Edge(graph.EdgeID(ei))
@@ -271,7 +461,6 @@ func DecomposeOpt(g *graph.Graph, root graph.NodeID, opt Options) (*Decompositio
 	}
 	rootFrag := make([]int32, n)
 	rootStamp := make([]int32, n)
-	fill := make([]int32, n)
 	// Per-worker selection minima, allocated lazily for the workers a
 	// phase actually engages (a length-n array per worker is real memory
 	// on many-core hosts, and small graphs never engage more than one).
@@ -285,7 +474,7 @@ func DecomposeOpt(g *graph.Graph, root graph.NodeID, opt Options) (*Decompositio
 	phases := 0
 	for i := 1; dsu.Sets() > 1; i++ {
 		if i > n+1 {
-			return nil, fmt.Errorf("boruvka: phase bound exceeded (internal error)")
+			return nil, nil, 0, fmt.Errorf("boruvka: phase bound exceeded (internal error)")
 		}
 		phases = i
 		record := opt.KeepPhases <= 0 || len(raws) < opt.KeepPhases
@@ -309,16 +498,13 @@ func DecomposeOpt(g *graph.Graph, root graph.NodeID, opt Options) (*Decompositio
 				oldToNew[f] = rootFrag[r]
 			}
 			numFrags = int(newNum)
-			// Relabel the live list and drop intra-fragment edges.
-			k := 0
-			for _, le := range live {
-				nu, nv := oldToNew[le.u], oldToNew[le.v]
-				if nu != nv {
-					live[k] = liveEdge{le.e, nu, nv}
-					k++
-				}
-			}
-			live = live[:k]
+			// Relabel the live list and drop intra-fragment edges: a
+			// two-pass chunked compaction into the double buffer. Chunk
+			// counts are indexed by chunk position (not executing worker),
+			// and each chunk writes survivors in order at its prefix-sum
+			// offset, so the compacted list is the sequential one for any
+			// worker count or schedule.
+			live, liveBuf = compactLive(live, liveBuf, oldToNew, workers)
 
 			if tower != nil {
 				// Snapshot the freshly contracted state as tower level i-1:
@@ -348,13 +534,17 @@ func DecomposeOpt(g *graph.Graph, root graph.NodeID, opt Options) (*Decompositio
 			active[f] = limit == 0 || fsize[f] < limit
 		}
 
-		// Minimum outgoing edge per active fragment: per-worker scans over
-		// contiguous ranges of the live list, merged at the barrier. The
-		// minimum is unique under the strict global order, so the merged
-		// result does not depend on the partition into ranges. Worker
-		// count scales with the live list (≥4096 edges per worker) so
-		// fork-join overhead and per-worker buffer resets never dominate
-		// a shrinking phase.
+		// Minimum outgoing edge per active fragment: workers claim
+		// fixed-size chunks of the live list from work-stealing deques
+		// (par.Steal), so a chunk whose edges compare slowly cannot strand
+		// the rest of a fixed range on one worker. Each worker folds its
+		// chunks into a per-worker minimum array; which worker saw which
+		// chunk varies by schedule, but the per-fragment minimum under the
+		// strict global order is an order-independent semigroup, so the
+		// barrier merge is byte-identical for any worker count and any
+		// steal schedule. Worker count scales with the live list (≥4096
+		// edges per worker) so fork-join overhead and per-worker buffer
+		// resets never dominate a shrinking phase.
 		scanWorkers := 1 + len(live)/4096
 		if scanWorkers > workers {
 			scanWorkers = workers
@@ -368,7 +558,7 @@ func DecomposeOpt(g *graph.Graph, root graph.NodeID, opt Options) (*Decompositio
 				best[f] = -1
 			}
 		}
-		par.Ranges(scanWorkers, len(live), func(w, lo, hi int) {
+		par.Steal(scanWorkers, len(live), par.DefaultChunk, func(w, lo, hi int) {
 			best := bests[w]
 			for idx := lo; idx < hi; idx++ {
 				le := live[idx]
@@ -402,7 +592,7 @@ func DecomposeOpt(g *graph.Graph, root graph.NodeID, opt Options) (*Decompositio
 			if i > 1 {
 				prevFragOf = raws[len(raws)-1].fragOf
 			}
-			raws = append(raws, recordPhase(g, prevFragOf, oldToNew, bests[0], active, nf, n, fill))
+			raws = append(raws, recordPhase(g, prevFragOf, oldToNew, bests[0], active, nf, n, workers))
 		}
 
 		// Merge. Selected edges are acyclic under a strict total order, so
@@ -422,19 +612,19 @@ func DecomposeOpt(g *graph.Graph, root graph.NodeID, opt Options) (*Decompositio
 				// fragments merged through other selections this phase and
 				// this edge would close a cycle. The intrinsic total order
 				// rules this out.
-				return nil, fmt.Errorf("boruvka: selected edges formed a cycle (internal error)")
+				return nil, nil, 0, fmt.Errorf("boruvka: selected edges formed a cycle (internal error)")
 			}
 		}
 	}
 
 	if len(treeEdges) != n-1 {
-		return nil, fmt.Errorf("boruvka: graph is disconnected (%d tree edges for %d nodes)", len(treeEdges), n)
+		return nil, nil, 0, fmt.Errorf("boruvka: graph is disconnected (%d tree edges for %d nodes)", len(treeEdges), n)
 	}
-	slices.Sort(treeEdges)
+	sortTreeEdges(treeEdges, workers)
 
 	parentPort, err := mst.Root(g, treeEdges, root)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 
 	d := &Decomposition{
@@ -478,170 +668,222 @@ func DecomposeOpt(g *graph.Graph, root graph.NodeID, opt Options) (*Decompositio
 	d.bfsFill = make([]int32, n)
 	d.bfsCnt = make([]int32, n)
 
-	// ---- Pass 2: enrich every recorded phase with roots, levels,
-	// orientations and BFS orders, all defined relative to the final
-	// rooted tree T. Each phase's fragment BFS orders (and child
-	// segments) live in flat per-phase arenas sliced by the member
-	// offsets, and fragments are annotated in parallel — they touch
-	// disjoint node sets.
-	for pi := range raws {
-		raw := &raws[pi]
-		nf := len(raw.memOff) - 1
-		ph := Phase{Index: pi + 1, FragOf: raw.fragOf}
-		frags := make([]Fragment, nf)
-		for f := 0; f < nf; f++ {
-			frags[f] = Fragment{
-				ID:     FragID(f),
-				Nodes:  raw.memFlat[raw.memOff[f]:raw.memOff[f+1]:raw.memOff[f+1]],
-				Active: raw.active[f],
-			}
-		}
-		d.annotate(frags, raw.fragOf, raw.memOff, workers)
-		// Selections live in one per-phase slab instead of one allocation
-		// per selecting fragment (phase 1 alone has ~n of them).
-		nSel := 0
-		for f := 0; f < nf; f++ {
-			if raw.selEdge[f] != -1 {
-				nSel++
-			}
-		}
-		selSlab := make([]Selection, 0, nSel)
-		for f := 0; f < nf; f++ {
-			e := raw.selEdge[f]
-			if e == -1 {
-				continue
-			}
-			chooser := raw.selChooser[f]
-			selSlab = append(selSlab, Selection{
-				Chooser: chooser,
-				Edge:    e,
-				Up:      d.ParentEdge[chooser] == e,
-			})
-			frags[f].Sel = &selSlab[len(selSlab)-1]
-		}
-		ph.Fragments = frags
-		d.Phases = append(d.Phases, ph)
-	}
+	return d, raws, workers, nil
+}
 
-	// Final single fragment.
-	finalNodes := make([]graph.NodeID, n)
-	for u := range finalNodes {
-		finalNodes[u] = graph.NodeID(u)
-	}
-	finalFragOf := make([]FragID, n)
-	finalOff := []int32{0, int32(n)}
-	final := []Fragment{{ID: 0, Nodes: finalNodes, Active: false}}
-	d.annotate(final, finalFragOf, finalOff, workers)
-	d.Final = final[0]
+// sortTreeEdges sorts the MST edge list ascending through the parallel
+// radix sort (edge IDs are non-negative and well inside 32 bits).
+func sortTreeEdges(treeEdges []graph.EdgeID, workers int) {
+	keys := make([]uint64, len(treeEdges))
+	par.Ranges(workers, len(treeEdges), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keys[i] = uint64(treeEdges[i])
+		}
+	})
+	par.SortU64(workers, keys)
+	par.Ranges(workers, len(treeEdges), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			treeEdges[i] = graph.EdgeID(keys[i])
+		}
+	})
+}
 
-	return d, nil
+// compactLive relabels the live list through oldToNew and drops
+// intra-fragment edges, writing the survivors into buf and returning
+// (buf[:k], old storage) for the caller to swap. The pass is chunked:
+// per-chunk survivor counts (indexed by chunk position, never by the
+// executing worker) prefix-sum into chunk write offsets, and each chunk
+// then scatters its survivors in order — output identical to the
+// sequential scan for any worker count.
+func compactLive(live, buf []liveEdge, oldToNew []int32, workers int) (out, spare []liveEdge) {
+	const chunk = 8192
+	nLive := len(live)
+	if nLive <= chunk || workers <= 1 {
+		k := 0
+		for _, le := range live {
+			nu, nv := oldToNew[le.u], oldToNew[le.v]
+			if nu != nv {
+				buf[k] = liveEdge{le.e, nu, nv}
+				k++
+			}
+		}
+		return buf[:k], live[:cap(live)]
+	}
+	nChunks := (nLive + chunk - 1) / chunk
+	counts := make([]int32, nChunks+1)
+	par.Ranges(workers, nChunks, func(_, clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > nLive {
+				hi = nLive
+			}
+			cnt := int32(0)
+			for _, le := range live[lo:hi] {
+				if oldToNew[le.u] != oldToNew[le.v] {
+					cnt++
+				}
+			}
+			counts[c+1] = cnt
+		}
+	})
+	for c := 0; c < nChunks; c++ {
+		counts[c+1] += counts[c]
+	}
+	par.Ranges(workers, nChunks, func(_, clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > nLive {
+				hi = nLive
+			}
+			k := counts[c]
+			for _, le := range live[lo:hi] {
+				nu, nv := oldToNew[le.u], oldToNew[le.v]
+				if nu != nv {
+					buf[k] = liveEdge{le.e, nu, nv}
+					k++
+				}
+			}
+		}
+	})
+	return buf[:counts[nChunks]], live[:cap(live)]
 }
 
 // recordPhase snapshots the node-level partition (fragment assignment
 // via the previous recorded phase and the contraction map, members by
-// counting sort) and the selections of the current phase. Kernel
-// fragment IDs are dense in order of smallest member node, which is
-// exactly the order a first-appearance scan over ascending nodes would
-// assign, so recorded IDs match the original sequential construction.
-func recordPhase(g *graph.Graph, prevFragOf []FragID, oldToNew, best []int32, active []bool, nf, n int, fill []int32) rawPhase {
+// a parallel radix sort of packed (fragment, node) keys — ascending
+// node order within each fragment, exactly the counting sort's output)
+// and the selections of the current phase. Kernel fragment IDs are
+// dense in order of smallest member node, which is exactly the order a
+// first-appearance scan over ascending nodes would assign, so recorded
+// IDs match the original sequential construction.
+func recordPhase(g *graph.Graph, prevFragOf []FragID, oldToNew, best []int32, active []bool, nf, n, workers int) rawPhase {
 	fragOf := make([]FragID, n)
-	if prevFragOf == nil {
-		for u := 0; u < n; u++ {
-			fragOf[u] = FragID(u) // phase 1: singletons
-		}
-	} else {
-		for u := 0; u < n; u++ {
-			fragOf[u] = FragID(oldToNew[prevFragOf[u]])
-		}
-	}
 	memOff := make([]int32, nf+1)
 	memFlat := make([]graph.NodeID, n)
-	for u := 0; u < n; u++ {
-		memOff[fragOf[u]+1]++
-	}
-	for f := 0; f < nf; f++ {
-		memOff[f+1] += memOff[f]
-	}
-	copy(fill[:nf], memOff[:nf])
-	for u := 0; u < n; u++ {
-		f := fragOf[u]
-		memFlat[fill[f]] = graph.NodeID(u)
-		fill[f]++
-	}
+	keys := make([]uint64, n)
+	par.Ranges(workers, n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			f := FragID(u) // phase 1: singletons
+			if prevFragOf != nil {
+				f = FragID(oldToNew[prevFragOf[u]])
+			}
+			fragOf[u] = f
+			keys[u] = uint64(f)<<32 | uint64(uint32(u))
+		}
+	})
+	par.SortU64(workers, keys)
+	par.Ranges(workers, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			memFlat[i] = graph.NodeID(uint32(keys[i]))
+			// Group boundaries: position i starts fragment f iff the key
+			// above it belongs to a smaller fragment. Writing memOff at
+			// boundaries covers every non-empty fragment; empty fragments
+			// cannot occur (every fragment holds ≥1 node).
+			if i == 0 || keys[i]>>32 != keys[i-1]>>32 {
+				memOff[keys[i]>>32] = int32(i)
+			}
+		}
+	})
+	memOff[nf] = int32(n)
 	activeCopy := make([]bool, nf)
 	copy(activeCopy, active[:nf])
 	selEdge := make([]graph.EdgeID, nf)
 	selChooser := make([]graph.NodeID, nf)
-	for f := 0; f < nf; f++ {
-		e := best[f]
-		if e == -1 {
-			selEdge[f], selChooser[f] = -1, -1
-			continue
+	par.Ranges(workers, nf, func(_, lo, hi int) {
+		for f := lo; f < hi; f++ {
+			e := best[f]
+			if e == -1 {
+				selEdge[f], selChooser[f] = -1, -1
+				continue
+			}
+			rec := g.Edge(graph.EdgeID(e))
+			selEdge[f] = graph.EdgeID(e)
+			if fragOf[rec.U] == FragID(f) {
+				selChooser[f] = rec.U
+			} else {
+				selChooser[f] = rec.V
+			}
 		}
-		rec := g.Edge(graph.EdgeID(e))
-		selEdge[f] = graph.EdgeID(e)
-		if fragOf[rec.U] == FragID(f) {
-			selChooser[f] = rec.U
-		} else {
-			selChooser[f] = rec.V
-		}
-	}
+	})
 	return rawPhase{fragOf, memOff, memFlat, activeCopy, selEdge, selChooser}
+}
+
+// fragView is the annotation of one fragment as annotateRaw streams it:
+// the root, the level parity, and the BFS order (a view into a per-phase
+// arena, stable for the life of the decomposition).
+type fragView struct {
+	root  graph.NodeID
+	level int
+	bfs   []graph.NodeID
 }
 
 // annotate fills Root, Level and BFS for every fragment of one phase.
 // memOff are the member offsets (fragment f spans memOff[f]:memOff[f+1]
 // in both the member and BFS layouts).
-func (d *Decomposition) annotate(frags []Fragment, fragOf []FragID, memOff []int32, workers int) {
-	// Roots: the unique node whose T-parent edge leaves the fragment (or
-	// the global root). Fragments are independent, so scan them in
-	// parallel.
-	numFrags := len(frags)
+func (d *Decomposition) annotate(frags []Fragment, fragOf []FragID, memOff []int32, memFlat []graph.NodeID, workers int) {
+	err := d.annotateRaw(memOff, memFlat, fragOf, workers, func(_, fi int, v fragView) error {
+		frags[fi].Root = v.root
+		frags[fi].Level = v.level
+		frags[fi].BFS = v.bfs
+		return nil
+	})
+	if err != nil {
+		panic(err) // the visitor above never fails
+	}
+}
+
+// annotateRaw computes root, level and BFS order for every fragment of
+// one partition (flat memOff/memFlat member arrays plus the node→
+// fragment map) and hands each fragment's view to visit. Fragments are
+// processed in parallel ranges — each owns a disjoint node set, and the
+// BFS orders land in per-phase arenas sliced by the member offsets —
+// so visit must only touch state owned by its fragment (or per-worker
+// scratch via the worker index it receives). A visit error aborts with
+// the lowest failing fragment's error, the sequential order's outcome.
+//
+// This is the engine behind both the rich Phase records and the fused
+// streaming pass: the fused oracle consumes each view in place instead
+// of materialising Fragment structs (DESIGN.md §2.12).
+func (d *Decomposition) annotateRaw(memOff []int32, memFlat []graph.NodeID, fragOf []FragID, workers int, visit func(w, fi int, v fragView) error) error {
+	numFrags := len(memOff) - 1
 	fragWorkers := workers
 	if numFrags < 64 {
 		fragWorkers = 1
 	}
-	par.Ranges(fragWorkers, numFrags, func(_, lo, hi int) {
-		for fi := lo; fi < hi; fi++ {
-			f := &frags[fi]
-			f.Root = -1
-			for _, u := range f.Nodes {
-				p := d.parentNode[u]
-				if p == -1 || fragOf[p] != FragID(fi) {
-					if f.Root != -1 {
-						panic("boruvka: two roots in one fragment (internal error)")
-					}
-					f.Root = u
-				}
+	// Levels: BFS over the tree of fragments T_i from the fragment
+	// holding the global root. The adjacency is a CSR over the
+	// cross-fragment tree edges, built with atomic counters — slot order
+	// varies by schedule, but BFS depths are hop distances, so the level
+	// parities are schedule-independent.
+	edgeWorkers := 1 + len(d.treeU)/4096
+	if edgeWorkers > workers {
+		edgeWorkers = workers
+	}
+	fdeg := make([]int32, numFrags+1)
+	par.Ranges(edgeWorkers, len(d.treeU), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fu, fv := fragOf[d.treeU[i]], fragOf[d.treeV[i]]
+			if fu != fv {
+				atomic.AddInt32(&fdeg[fu+1], 1)
+				atomic.AddInt32(&fdeg[fv+1], 1)
 			}
 		}
 	})
-	// Levels: BFS over the tree of fragments T_i from the fragment holding
-	// the global root. The adjacency is a counting-sort CSR over the
-	// cross-fragment tree edges.
-	fdeg := make([]int32, numFrags+1)
-	for i := range d.treeU {
-		fu, fv := fragOf[d.treeU[i]], fragOf[d.treeV[i]]
-		if fu != fv {
-			fdeg[fu+1]++
-			fdeg[fv+1]++
-		}
-	}
 	for f := 0; f < numFrags; f++ {
 		fdeg[f+1] += fdeg[f]
 	}
 	fadj := make([]FragID, fdeg[numFrags])
 	fcur := make([]int32, numFrags)
 	copy(fcur, fdeg[:numFrags])
-	for i := range d.treeU {
-		fu, fv := fragOf[d.treeU[i]], fragOf[d.treeV[i]]
-		if fu != fv {
-			fadj[fcur[fu]] = fv
-			fcur[fu]++
-			fadj[fcur[fv]] = fu
-			fcur[fv]++
+	par.Ranges(edgeWorkers, len(d.treeU), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fu, fv := fragOf[d.treeU[i]], fragOf[d.treeV[i]]
+			if fu != fv {
+				fadj[atomic.AddInt32(&fcur[fu], 1)-1] = fv
+				fadj[atomic.AddInt32(&fcur[fv], 1)-1] = fu
+			}
 		}
-	}
+	})
 	rootFrag := fragOf[d.Root]
 	depth := make([]int32, numFrags)
 	for i := range depth {
@@ -659,26 +901,40 @@ func (d *Decomposition) annotate(frags []Fragment, fragOf []FragID, memOff []int
 			}
 		}
 	}
-	for fi := range frags {
-		if depth[fi] == -1 {
-			panic("boruvka: tree of fragments is disconnected (internal error)")
-		}
-		frags[fi].Level = int(depth[fi] % 2)
-	}
-	// BFS orders of the fragment trees T_F, children by (weight, port at
-	// parent). Both the orders and the child segments live in flat
+	// Roots, BFS orders and the visit itself, one parallel pass over
+	// fragments. Both the orders and the child segments live in flat
 	// per-phase arenas sliced by the member offsets; the node-indexed
 	// count scratch is shared safely because fragments own disjoint
 	// nodes.
 	total := int(memOff[numFrags])
 	bfsArena := make([]graph.NodeID, total)
 	kidsArena := make([]graph.NodeID, total)
-	par.Ranges(fragWorkers, numFrags, func(_, lo, hi int) {
+	return par.FirstFailure(fragWorkers, numFrags, func(w, lo, hi int) (int, error) {
 		for fi := lo; fi < hi; fi++ {
+			if depth[fi] == -1 {
+				panic("boruvka: tree of fragments is disconnected (internal error)")
+			}
+			nodes := memFlat[memOff[fi]:memOff[fi+1]:memOff[fi+1]]
+			// Root: the unique node whose T-parent edge leaves the
+			// fragment (or the global root).
+			root := graph.NodeID(-1)
+			for _, u := range nodes {
+				p := d.parentNode[u]
+				if p == -1 || fragOf[p] != FragID(fi) {
+					if root != -1 {
+						panic("boruvka: two roots in one fragment (internal error)")
+					}
+					root = u
+				}
+			}
 			o := memOff[fi]
-			frags[fi].BFS = d.fragmentBFS(&frags[fi], fragOf,
+			bfs := d.fragmentBFS(root, nodes, fragOf,
 				bfsArena[o:o:memOff[fi+1]], kidsArena[o:memOff[fi+1]])
+			if err := visit(w, fi, fragView{root: root, level: int(depth[fi] % 2), bfs: bfs}); err != nil {
+				return fi, err
+			}
 		}
+		return -1, nil
 	})
 }
 
@@ -688,22 +944,22 @@ func (d *Decomposition) annotate(frags []Fragment, fragOf []FragID, memOff []int
 // in T_F ... lower index first". The order is written into out (len 0,
 // cap |F|) and returned; kids (len |F|) backs the per-parent child
 // segments.
-func (d *Decomposition) fragmentBFS(f *Fragment, fragOf []FragID, out, kids []graph.NodeID) []graph.NodeID {
+func (d *Decomposition) fragmentBFS(root graph.NodeID, nodes []graph.NodeID, fragOf []FragID, out, kids []graph.NodeID) []graph.NodeID {
 	start, fill, cnt := d.bfsStart, d.bfsFill, d.bfsCnt
 	// A node's T-parent lies in this fragment iff it exists and shares
 	// the fragment (fragments are subtrees of T, so this holds for every
 	// non-root member).
-	for _, u := range f.Nodes {
+	for _, u := range nodes {
 		cnt[u] = 0
 	}
-	fid := fragOf[f.Nodes[0]]
-	for _, u := range f.Nodes {
+	fid := fragOf[nodes[0]]
+	for _, u := range nodes {
 		if p := d.parentNode[u]; p != -1 && fragOf[p] == fid {
 			cnt[p]++
 		}
 	}
 	off := int32(0)
-	for _, u := range f.Nodes {
+	for _, u := range nodes {
 		start[u], fill[u] = off, off
 		off += cnt[u]
 	}
@@ -711,7 +967,7 @@ func (d *Decomposition) fragmentBFS(f *Fragment, fragOf []FragID, out, kids []gr
 	// (edge weight, port at the parent) — the key is strict because
 	// siblings hang off distinct parent ports. Segments are tiny, so the
 	// quadratic insertion beats sort's allocations.
-	for _, u := range f.Nodes {
+	for _, u := range nodes {
 		p := d.parentNode[u]
 		if p == -1 || fragOf[p] != fid {
 			continue
@@ -732,13 +988,13 @@ func (d *Decomposition) fragmentBFS(f *Fragment, fragOf []FragID, out, kids []gr
 	}
 	// The order slice doubles as the BFS queue: entry qi is expanded after
 	// it has been appended.
-	order := append(out, f.Root)
+	order := append(out, root)
 	for qi := 0; qi < len(order); qi++ {
 		u := order[qi]
 		order = append(order, kids[start[u]:start[u]+cnt[u]]...)
 	}
-	if len(order) != len(f.Nodes) {
-		panic(fmt.Sprintf("boruvka: fragment BFS visited %d of %d nodes (internal error)", len(order), len(f.Nodes)))
+	if len(order) != len(nodes) {
+		panic(fmt.Sprintf("boruvka: fragment BFS visited %d of %d nodes (internal error)", len(order), len(nodes)))
 	}
 	return order
 }

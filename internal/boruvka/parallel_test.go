@@ -3,6 +3,9 @@ package boruvka
 import (
 	"math/rand"
 	"reflect"
+	"runtime"
+	"sort"
+	"sync"
 	"testing"
 
 	"mstadvice/internal/graph"
@@ -29,29 +32,155 @@ func project(d *Decomposition) observable {
 }
 
 // TestDecomposeParallelDeterminism asserts the phase kernel's central
-// contract: for every registered graph family and every worker count,
-// DecomposeOpt produces a byte-identical Decomposition. Worker counts
-// above GOMAXPROCS are included deliberately — the contract is about the
-// partition into ranges, not the physical core count.
+// contract: for every registered graph family and every worker count in
+// {1,2,3,4,8,16}, DecomposeOpt produces a byte-identical Decomposition —
+// with and without phase truncation and the contraction tower — and the
+// whole wall holds again under GOMAXPROCS=1, which forces every
+// goroutine onto one OS thread and so exercises completely different
+// steal schedules. Worker counts above GOMAXPROCS are included
+// deliberately — the contract is about the partition into ranges and
+// the merge semigroup, not the physical core count.
 func TestDecomposeParallelDeterminism(t *testing.T) {
-	for gi, fam := range gen.Families() {
-		rng := rand.New(rand.NewSource(int64(100 + gi)))
-		g, err := fam.Generate(60, rng, gen.Options{Weights: gen.WeightsRandom})
-		if err != nil {
-			t.Fatalf("family %s: %v", fam.Name, err)
-		}
-		ref, err := DecomposeOpt(g, 0, Options{Workers: 1})
-		if err != nil {
-			t.Fatalf("family %s workers=1: %v", fam.Name, err)
-		}
-		want := project(ref)
-		for workers := 2; workers <= 4; workers++ {
-			d, err := DecomposeOpt(g, 0, Options{Workers: workers})
+	variants := []struct {
+		name string
+		opt  Options
+	}{
+		{"full", Options{}},
+		{"keepPhases", Options{KeepPhases: 3}},
+		{"keepTower", Options{KeepTower: true}},
+	}
+	check := func(t *testing.T) {
+		for gi, fam := range gen.Families() {
+			rng := rand.New(rand.NewSource(int64(100 + gi)))
+			g, err := fam.Generate(60, rng, gen.Options{Weights: gen.WeightsRandom})
 			if err != nil {
-				t.Fatalf("family %s workers=%d: %v", fam.Name, workers, err)
+				t.Fatalf("family %s: %v", fam.Name, err)
 			}
-			if !reflect.DeepEqual(project(d), want) {
-				t.Fatalf("family %s: decomposition differs at workers=%d", fam.Name, workers)
+			for _, va := range variants {
+				opt := va.opt
+				opt.Workers = 1
+				ref, err := DecomposeOpt(g, 0, opt)
+				if err != nil {
+					t.Fatalf("family %s %s workers=1: %v", fam.Name, va.name, err)
+				}
+				want := project(ref)
+				for _, workers := range []int{2, 3, 4, 8, 16} {
+					opt.Workers = workers
+					d, err := DecomposeOpt(g, 0, opt)
+					if err != nil {
+						t.Fatalf("family %s %s workers=%d: %v", fam.Name, va.name, workers, err)
+					}
+					if !reflect.DeepEqual(project(d), want) {
+						t.Fatalf("family %s %s: decomposition differs at workers=%d", fam.Name, va.name, workers)
+					}
+					if va.opt.KeepTower && !reflect.DeepEqual(d.Tower, ref.Tower) {
+						t.Fatalf("family %s: tower differs at workers=%d", fam.Name, workers)
+					}
+				}
+			}
+		}
+	}
+	check(t)
+	t.Run("gomaxprocs1", func(t *testing.T) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+		check(t)
+	})
+}
+
+// streamRecord is one StreamVisit flattened for comparison (BFS copied
+// out of its arena).
+type streamRecord struct {
+	Phase, Frag   int
+	Final, Active bool
+	Root          graph.NodeID
+	Level         int
+	BFS           []graph.NodeID
+	HasSel        bool
+	Sel           Selection
+}
+
+// collectStream runs DecomposeStream and returns the visits sorted by
+// (phase, fragment) — the visit order within a phase is intentionally
+// unspecified — plus the flat decomposition.
+func collectStream(t *testing.T, g *graph.Graph, opt Options) ([]streamRecord, *Decomposition) {
+	t.Helper()
+	var mu sync.Mutex
+	var recs []streamRecord
+	d, err := DecomposeStream(g, 0, opt, func(_ int, v StreamVisit) error {
+		r := streamRecord{v.Phase, v.Frag, v.Final, v.Active, v.Root, v.Level,
+			append([]graph.NodeID(nil), v.BFS...), v.HasSel, v.Sel}
+		mu.Lock()
+		recs = append(recs, r)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Phase != recs[j].Phase {
+			return recs[i].Phase < recs[j].Phase
+		}
+		return recs[i].Frag < recs[j].Frag
+	})
+	return recs, d
+}
+
+// TestDecomposeStreamMatchesRich replays the streamed fragments against
+// the rich two-pass records: every phase, fragment, annotation and
+// selection must agree, for a retention budget the run outlives and for
+// one it does not (where the stream must synthesize the spanning
+// fragment), across worker counts.
+func TestDecomposeStreamMatchesRich(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := gen.RandomConnected(180, 540, rng, gen.Options{})
+	full, err := Decompose(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{0, 2, full.TotalPhases, full.TotalPhases + 1, full.TotalPhases + 5} {
+		for _, workers := range []int{1, 3, 8} {
+			recs, d := collectStream(t, g, Options{Workers: workers, KeepPhases: keep})
+			if d.TotalPhases != full.TotalPhases || d.NumPhases() != 0 {
+				t.Fatalf("keep=%d: stream decomposition records phases (%d) or wrong total", keep, d.NumPhases())
+			}
+			kept := keep
+			if kept <= 0 || kept > full.TotalPhases {
+				kept = full.TotalPhases
+			}
+			wantSynth := keep <= 0 || full.TotalPhases < keep
+			ri := 0
+			for pi := 1; pi <= kept; pi++ {
+				ph := &full.Phases[pi-1]
+				for fi := range ph.Fragments {
+					f := &ph.Fragments[fi]
+					if ri >= len(recs) {
+						t.Fatalf("keep=%d workers=%d: stream ended before phase %d fragment %d", keep, workers, pi, fi)
+					}
+					r := recs[ri]
+					ri++
+					wantFinal := keep > 0 && pi == keep
+					if r.Phase != pi || r.Frag != fi || r.Final != wantFinal || r.Active != f.Active ||
+						r.Root != f.Root || r.Level != f.Level || !reflect.DeepEqual(r.BFS, f.BFS) {
+						t.Fatalf("keep=%d workers=%d: phase %d fragment %d visit %+v mismatches rich record", keep, workers, pi, fi, r)
+					}
+					if r.HasSel != (f.Sel != nil) || (r.HasSel && r.Sel != *f.Sel) {
+						t.Fatalf("keep=%d workers=%d: phase %d fragment %d selection mismatch", keep, workers, pi, fi)
+					}
+				}
+			}
+			if wantSynth {
+				if ri+1 != len(recs) {
+					t.Fatalf("keep=%d workers=%d: %d trailing visits, want 1 synthesized final", keep, workers, len(recs)-ri)
+				}
+				r := recs[ri]
+				if r.Phase != full.TotalPhases+1 || !r.Final || r.HasSel ||
+					r.Root != full.Final.Root || r.Level != full.Final.Level ||
+					!reflect.DeepEqual(r.BFS, full.Final.BFS) {
+					t.Fatalf("keep=%d workers=%d: synthesized final visit %+v mismatches rich Final", keep, workers, r)
+				}
+			} else if ri != len(recs) {
+				t.Fatalf("keep=%d workers=%d: %d unexpected trailing visits", keep, workers, len(recs)-ri)
 			}
 		}
 	}

@@ -91,6 +91,13 @@ type OracleOptions struct {
 	// encoding; 0 means GOMAXPROCS. The advice is byte-identical for any
 	// value.
 	Workers int
+	// Reference selects the two-pass reference encoder, which
+	// materialises every Phase and Fragment record before packing. The
+	// default fused path streams each annotated fragment straight into
+	// the advice arenas (boruvka.Stream, DESIGN.md §2.12); both produce
+	// byte-identical advice, and TestFusedMatchesReference holds them
+	// together.
+	Reference bool
 }
 
 // BuildAdvice computes the Theorem 3 advice for g rooted at root. cap is
@@ -127,7 +134,10 @@ func BuildAdviceDetailOpt(g *graph.Graph, root graph.NodeID, cap int, opt Oracle
 	for u := range b.packs {
 		b.packs[u] = b.packA.At(u)
 	}
-	if n > 1 {
+	switch {
+	case n <= 1:
+		// Singleton: no phases, no final stage, all-empty advice.
+	case opt.Reference:
 		// The packing reads only phases 1..P and the partition at the
 		// start of phase P+1, so later phases need not be recorded.
 		d, err := boruvka.DecomposeOpt(g, root, boruvka.Options{
@@ -144,6 +154,10 @@ func BuildAdviceDetailOpt(g *graph.Graph, root graph.NodeID, cap int, opt Oracle
 			}
 		}
 		if err := b.assignFinal(); err != nil {
+			return nil, err
+		}
+	default:
+		if err := b.buildFused(root); err != nil {
 			return nil, err
 		}
 	}
@@ -203,9 +217,16 @@ func (b *adviceBuilder) packPhase(i int) error {
 // packFragment encodes A(F) into a (a reusable scratch string) and
 // streams it greedily into the fragment's nodes in BFS order.
 func (b *adviceBuilder) packFragment(i int, f *boruvka.Fragment, a *bitstring.BitString) error {
+	return b.packBits(i, f.BFS, f.Sel.Chooser, f.Sel.Up, f.Level == 1, a)
+}
+
+// packBits is the phase-i fragment encoding shared by the reference and
+// fused paths: build A(F) = b_up ‖ b_level ‖ bin(j) in the scratch
+// string, then stream it greedily into the fragment's BFS nodes.
+func (b *adviceBuilder) packBits(i int, bfs []graph.NodeID, chooser graph.NodeID, up, level bool, a *bitstring.BitString) error {
 	j := -1
-	for k, u := range f.BFS {
-		if u == f.Sel.Chooser {
+	for k, u := range bfs {
+		if u == chooser {
 			j = k
 			break
 		}
@@ -217,14 +238,14 @@ func (b *adviceBuilder) packFragment(i int, f *boruvka.Fragment, a *bitstring.Bi
 		return fmt.Errorf("core: BFS index %d of chooser needs more than %d bits (internal error)", j, i)
 	}
 	a.Reset()
-	a.AppendBit(f.Sel.Up)
-	a.AppendBit(f.Level == 1)
+	a.AppendBit(up)
+	a.AppendBit(level)
 	a.AppendUint(uint64(j), i)
 
 	// Greedy assignment in BFS order (the paper's loop): fill the
 	// earliest node with spare capacity.
 	pos := 0
-	for _, u := range f.BFS {
+	for _, u := range bfs {
 		free := b.sched.Cap - b.used[u]
 		if free <= 0 {
 			continue
@@ -242,7 +263,7 @@ func (b *adviceBuilder) packFragment(i int, f *boruvka.Fragment, a *bitstring.Bi
 	}
 	if pos != a.Len() {
 		return fmt.Errorf("core: phase %d fragment of size %d cannot hold %d advice bits under cap %d (Claim 1 violated)",
-			i, f.Size(), a.Len(), b.sched.Cap)
+			i, len(bfs), a.Len(), b.sched.Cap)
 	}
 	return nil
 }
@@ -267,20 +288,9 @@ func (b *adviceBuilder) assignFinal() error {
 	return par.FirstFailure(workers, len(frags), func(_, lo, hi int) (int, error) {
 		for fi := lo; fi < hi; fi++ {
 			f := &frags[fi]
-			var value uint64
-			port := -1
-			if f.Root == b.d.Root {
-				value = 1<<uint(width) - 1 // all-ones: "I am the root"
-			} else {
-				port = b.d.ParentPort[f.Root]
-				rank := b.g.GlobalRankAt(f.Root, port)
-				value = uint64(rank)
-				if value >= 1<<uint(width)-1 {
-					return fi, fmt.Errorf("core: parent rank %d collides with the root marker (internal error)", rank)
-				}
-			}
-			if f.Size() < width {
-				return fi, fmt.Errorf("core: final fragment of size %d cannot hold %d bits (internal error)", f.Size(), width)
+			value, port, err := b.finalString(f.Root, f.Size())
+			if err != nil {
+				return fi, err
 			}
 			carriers := carrierSlab[fi*width : (fi+1)*width : (fi+1)*width]
 			for k := 0; k < width; k++ {
@@ -296,4 +306,28 @@ func (b *adviceBuilder) assignFinal() error {
 		}
 		return -1, nil
 	})
+}
+
+// finalString computes one final-stage fragment's encoded value — the
+// global rank of root's parent edge, or all-ones for the fragment
+// holding the global root — plus the parent port (-1 for the root
+// fragment). size guards the Width-bit carrier capacity. Shared by the
+// reference and fused paths.
+func (b *adviceBuilder) finalString(root graph.NodeID, size int) (value uint64, port int, err error) {
+	width := b.sched.Width
+	port = -1
+	if root == b.d.Root {
+		value = 1<<uint(width) - 1 // all-ones: "I am the root"
+	} else {
+		port = b.d.ParentPort[root]
+		rank := b.g.GlobalRankAt(root, port)
+		value = uint64(rank)
+		if value >= 1<<uint(width)-1 {
+			return 0, 0, fmt.Errorf("core: parent rank %d collides with the root marker (internal error)", rank)
+		}
+	}
+	if size < width {
+		return 0, 0, fmt.Errorf("core: final fragment of size %d cannot hold %d bits (internal error)", size, width)
+	}
+	return value, port, nil
 }

@@ -11,6 +11,7 @@ import (
 	"mstadvice/internal/dynamic"
 	"mstadvice/internal/graph"
 	"mstadvice/internal/graph/gen"
+	"mstadvice/internal/par"
 	"mstadvice/internal/sim"
 )
 
@@ -57,9 +58,18 @@ type BenchResult struct {
 	AllocsPerRound float64 `json:"allocs_per_round,omitempty"`
 	AllocBytes     uint64  `json:"alloc_bytes"`
 	// Speedup is wall(workers=1) / wall(this row) for parallel rows of
-	// the same (kind, n); 0 on sequential rows.
-	Speedup  float64 `json:"speedup,omitempty"`
-	Verified bool    `json:"verified"`
+	// the same (kind, n); 0 on sequential rows. SpeedupModel says how it
+	// was obtained: "measured" when the host has at least Workers CPUs,
+	// "work-span" when the row's worker count exceeds the physical cores
+	// and the ratio instead comes from the par.Profile list-scheduling
+	// projection of a profiled sequential run (DESIGN.md §2.12) — the
+	// two are never silently mixed. GenSpeedup is the same ratio for the
+	// generation stage (oracle rows only, where generation runs through
+	// the seeded parallel generators).
+	Speedup      float64 `json:"speedup,omitempty"`
+	SpeedupModel string  `json:"speedup_model,omitempty"`
+	GenSpeedup   float64 `json:"gen_speedup,omitempty"`
+	Verified     bool    `json:"verified"`
 	// Service-layer columns (kind "service"): closed-loop queries issued,
 	// aggregate throughput, latency percentiles, allocations per query,
 	// and — for the store row — the snapshot size on disk.
@@ -178,48 +188,120 @@ func SimBench(c Config) []BenchResult {
 	return out
 }
 
-// OracleBench measures the oracle pipeline alone — generate + build CSR
-// (GenNS/GenAllocs), then Borůvka decomposition + advice encoding
-// (WallNS/Allocs) — at n up to 10⁶, sequentially and with the full
-// worker pool. The Verified column certifies that every parallel run
-// produced advice byte-identical to the sequential run. Sizes come from
-// the config; nil means the default {10⁴, 10⁵, 10⁶} sweep.
+// oracleBenchWorkers is OracleBench's fixed sweep. It is deliberately
+// machine-independent (unlike benchWorkers) so the committed
+// BENCH_oracle.json rows — including the 8-worker scaling row the CI
+// speedup floor gates — keep stable keys on any runner.
+var oracleBenchWorkers = []int{1, 4, 8}
+
+// graphsEqual reports whether two graphs agree on every observable
+// byte: sizes, IDs and the full port-annotated edge records.
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for u := 0; u < a.N(); u++ {
+		if a.ID(graph.NodeID(u)) != b.ID(graph.NodeID(u)) {
+			return false
+		}
+	}
+	for e := 0; e < a.M(); e++ {
+		if a.Edge(graph.EdgeID(e)) != b.Edge(graph.EdgeID(e)) {
+			return false
+		}
+	}
+	return true
+}
+
+// adviceEqual reports whether two advice sets are byte-identical.
+func adviceEqual(a, b []*bitstring.BitString) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for u := range a {
+		if !a[u].Equal(b[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+// OracleBench measures the oracle pipeline alone — seeded parallel
+// generation (GenNS/GenAllocs, gen.BuildSeeded), then Borůvka
+// decomposition + fused advice encoding (WallNS/Allocs) — at n up to
+// 10⁶ across the fixed worker sweep {1, 4, 8}. The Verified column
+// certifies that every parallel run produced a graph and advice
+// byte-identical to the sequential run's.
+//
+// Speedup reporting is honest about the host: when the machine has at
+// least as many CPUs as the row's worker count, Speedup/GenSpeedup are
+// measured wall ratios ("measured"); otherwise they come from the
+// work-span projection of a profiled sequential run (par.Profile,
+// "work-span") — a list-scheduling model of the recorded chunk
+// durations, never a wall ratio the hardware cannot express. WallNS
+// always holds the measured wall time. Sizes come from the config; nil
+// means the default {10⁴, 10⁵, 10⁶} sweep.
 func OracleBench(c Config) []BenchResult {
 	sizes := c.Sizes
 	if sizes == nil {
 		sizes = []int{10_000, 100_000, 1_000_000}
 	}
+	maxWorkers := oracleBenchWorkers[len(oracleBenchWorkers)-1]
 	var out []BenchResult
 	for _, n := range sizes {
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		g := gen.RandomConnected(n, 3*n, c.rng(int64(n)), gen.Options{})
-		genWall := time.Since(start)
-		runtime.ReadMemStats(&after)
-		genAllocs := after.Mallocs - before.Mallocs
-		var ref []*bitstring.BitString
-		var seqWall int64
-		for _, workers := range benchWorkers() {
+		seed := uint64(c.Seed)*0x9E3779B97F4A7C15 ^ uint64(n)
+		build := func(workers int) (*graph.Graph, time.Duration, uint64, uint64) {
+			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
-			start = time.Now()
-			d, err := core.BuildAdviceDetailOpt(g, 0, core.DefaultCap, core.OracleOptions{Workers: workers})
+			start := time.Now()
+			g, err := gen.BuildSeeded("random", n, seed, gen.SeededOptions{Workers: workers})
+			wall := time.Since(start)
+			runtime.ReadMemStats(&after)
 			if err != nil {
 				panic(err)
 			}
+			return g, wall, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+		}
+		encode := func(g *graph.Graph, workers int) (*core.AdviceDetail, time.Duration, uint64, uint64) {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			d, err := core.BuildAdviceDetailOpt(g, 0, core.DefaultCap, core.OracleOptions{Workers: workers})
 			wall := time.Since(start)
 			runtime.ReadMemStats(&after)
-			verified := true
-			if ref == nil {
-				ref = d.Advice
-			} else {
-				for u := range ref {
-					if !ref[u].Equal(d.Advice[u]) {
-						verified = false
-						break
-					}
-				}
+			if err != nil {
+				panic(err)
 			}
+			return d, wall, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+		}
+
+		// Warmup pipeline, discarded: the first run at a size pays
+		// allocator growth and page faults that would otherwise inflate
+		// the sequential reference walls (and so every speedup).
+		gWarm, _, _, _ := build(1)
+		encode(gWarm, 1)
+
+		// Reference pipeline at one worker: the measured sequential walls
+		// every speedup is relative to, and the byte-identity reference.
+		gRef, genSeqWall, _, _ := build(1)
+		dRef, seqWall, _, _ := encode(gRef, 1)
+
+		// Profiled sequential run targeted at the sweep's widest row: the
+		// chunk durations behind the work-span projection. The profiled
+		// outputs double as a determinism check against the reference.
+		pg := par.StartProfile(maxWorkers)
+		gProf, genProfWall, _, _ := build(maxWorkers)
+		pg.Stop()
+		pb := par.StartProfile(maxWorkers)
+		dProf, profWall, _, _ := encode(gProf, maxWorkers)
+		pb.Stop()
+		profOK := graphsEqual(gRef, gProf) && adviceEqual(dRef.Advice, dProf.Advice)
+		genSerial := max64(genProfWall.Nanoseconds()-pg.WorkNS(), 0)
+		buildSerial := max64(profWall.Nanoseconds()-pb.WorkNS(), 0)
+
+		for _, workers := range oracleBenchWorkers {
+			g, genWall, genAllocs, _ := build(workers)
+			d, wall, allocs, allocBytes := encode(g, workers)
 			row := BenchResult{
 				Kind:       "oracle",
 				Scheme:     "core",
@@ -230,19 +312,74 @@ func OracleBench(c Config) []BenchResult {
 				WallNS:     wall.Nanoseconds(),
 				GenNS:      genWall.Nanoseconds(),
 				GenAllocs:  genAllocs,
-				Allocs:     after.Mallocs - before.Mallocs,
-				AllocBytes: after.TotalAlloc - before.TotalAlloc,
-				Verified:   verified,
+				Allocs:     allocs,
+				AllocBytes: allocBytes,
+				Verified:   profOK && graphsEqual(gRef, g) && adviceEqual(dRef.Advice, d.Advice),
 			}
-			if workers == 1 {
-				seqWall = row.WallNS
-			} else if row.WallNS > 0 {
-				row.Speedup = float64(seqWall) / float64(row.WallNS)
+			if workers > 1 {
+				if runtime.NumCPU() >= workers {
+					row.SpeedupModel = "measured"
+					if row.WallNS > 0 {
+						row.Speedup = float64(seqWall.Nanoseconds()) / float64(row.WallNS)
+					}
+					if row.GenNS > 0 {
+						row.GenSpeedup = float64(genSeqWall.Nanoseconds()) / float64(row.GenNS)
+					}
+				} else {
+					row.SpeedupModel = "work-span"
+					if proj := buildSerial + pb.ProjectNS(workers); proj > 0 {
+						row.Speedup = float64(seqWall.Nanoseconds()) / float64(proj)
+					}
+					if proj := genSerial + pg.ProjectNS(workers); proj > 0 {
+						row.GenSpeedup = float64(genSeqWall.Nanoseconds()) / float64(proj)
+					}
+				}
 			}
 			out = append(out, row)
 		}
 	}
 	return out
+}
+
+// CheckSpeedupFloor enforces the oracle scaling gate: among the "oracle"
+// rows, the ones at the sweep's largest n with the given worker count
+// must report Speedup ≥ floor (and must exist, and be Verified). It
+// returns nil when floor ≤ 0.
+func CheckSpeedupFloor(rows []BenchResult, workers int, floor float64) error {
+	if floor <= 0 {
+		return nil
+	}
+	maxN := 0
+	for _, r := range rows {
+		if r.Kind == "oracle" && r.N > maxN {
+			maxN = r.N
+		}
+	}
+	checked := 0
+	for _, r := range rows {
+		if r.Kind != "oracle" || r.N != maxN || r.Workers != workers {
+			continue
+		}
+		checked++
+		if !r.Verified {
+			return fmt.Errorf("oracle row n=%d workers=%d is not verified", r.N, r.Workers)
+		}
+		if r.Speedup < floor {
+			return fmt.Errorf("oracle speedup %.2fx (%s) at n=%d workers=%d below floor %.2fx",
+				r.Speedup, r.SpeedupModel, r.N, r.Workers, floor)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("no oracle row at n=%d with workers=%d to gate", maxN, workers)
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // dynamicBench measures single-edge-update advice latency at size n:

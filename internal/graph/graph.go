@@ -442,45 +442,97 @@ func (g *Graph) Diameter() int {
 // sort-and-dedup pass over packed keys instead of a hash set, and the
 // per-edge consistency checks run over edge ranges on the worker pool.
 func (g *Graph) Validate() error {
-	// ID distinctness: sort (id, node) pairs and compare neighbours.
-	type idPair struct {
-		id   int64
-		node NodeID
-	}
-	idPairs := make([]idPair, len(g.ids))
-	for u, id := range g.ids {
-		idPairs[u] = idPair{id, NodeID(u)}
-	}
-	slices.SortFunc(idPairs, func(a, b idPair) int {
-		switch {
-		case a.id < b.id:
-			return -1
-		case a.id > b.id:
-			return 1
-		default:
-			return int(a.node - b.node)
+	return g.validate(0)
+}
+
+// validate is Validate with an explicit worker request: workers > 0
+// sizes every parallel pass at that count (capped only by the per-item
+// floor, not by GOMAXPROCS), which keeps the passes visible to the
+// par.Profile work-span model; workers <= 0 uses the adaptive default.
+func (g *Graph) validate(workers int) error {
+	size := func(items int) int {
+		if workers <= 0 {
+			return buildWorkers(items)
 		}
-	})
-	for i := 1; i < len(idPairs); i++ {
-		if idPairs[i].id == idPairs[i-1].id {
-			return fmt.Errorf("graph: duplicate ID %d at nodes %d and %d",
-				idPairs[i].id, idPairs[i-1].node, idPairs[i].node)
+		if w := 1 + items/4096; workers > w {
+			return w
+		}
+		return workers
+	}
+	// ID distinctness: sort (id, node) pairs and compare neighbours.
+	// IDs that fit int32 (every generator's do) take the fast path —
+	// packed (biased id, node) words through the parallel radix sort;
+	// wider IDs fall back to a comparison sort of explicit pairs.
+	idWorkers := size(len(g.ids))
+	idFits := true
+	for _, id := range g.ids {
+		if id < -1<<31 || id > 1<<31-1 {
+			idFits = false
+			break
+		}
+	}
+	if idFits {
+		keys := make([]uint64, len(g.ids))
+		par.Ranges(idWorkers, len(g.ids), func(_, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				keys[u] = (uint64(uint32(g.ids[u]))^0x8000_0000)<<32 | uint64(uint32(u))
+			}
+		})
+		par.SortU64(idWorkers, keys)
+		for i := 1; i < len(keys); i++ {
+			if keys[i]>>32 == keys[i-1]>>32 {
+				return fmt.Errorf("graph: duplicate ID %d at nodes %d and %d",
+					int32(uint32(keys[i]>>32)^0x8000_0000), uint32(keys[i-1]), uint32(keys[i]))
+			}
+		}
+	} else {
+		type idPair struct {
+			id   int64
+			node NodeID
+		}
+		idPairs := make([]idPair, len(g.ids))
+		for u, id := range g.ids {
+			idPairs[u] = idPair{id, NodeID(u)}
+		}
+		slices.SortFunc(idPairs, func(a, b idPair) int {
+			switch {
+			case a.id < b.id:
+				return -1
+			case a.id > b.id:
+				return 1
+			default:
+				return int(a.node - b.node)
+			}
+		})
+		for i := 1; i < len(idPairs); i++ {
+			if idPairs[i].id == idPairs[i-1].id {
+				return fmt.Errorf("graph: duplicate ID %d at nodes %d and %d",
+					idPairs[i].id, idPairs[i-1].node, idPairs[i].node)
+			}
 		}
 	}
 	// Simplicity: self-loops inline, duplicates by sorting packed
-	// endpoint keys (nodes fit in 32 bits far beyond any supported n).
+	// endpoint keys (nodes fit in 32 bits far beyond any supported n)
+	// with the parallel radix sort.
 	keys := make([]uint64, len(g.edges))
-	for ei, e := range g.edges {
-		if e.U == e.V {
-			return fmt.Errorf("graph: edge %d is a self-loop at %d", ei, e.U)
+	err := par.FirstFailure(size(len(g.edges)), len(g.edges), func(_, lo, hi int) (int, error) {
+		for ei := lo; ei < hi; ei++ {
+			e := g.edges[ei]
+			if e.U == e.V {
+				return ei, fmt.Errorf("graph: edge %d is a self-loop at %d", ei, e.U)
+			}
+			a, b := e.U, e.V
+			if a > b {
+				a, b = b, a
+			}
+			keys[ei] = uint64(a)<<32 | uint64(uint32(b))
 		}
-		a, b := e.U, e.V
-		if a > b {
-			a, b = b, a
-		}
-		keys[ei] = uint64(a)<<32 | uint64(uint32(b))
+		return -1, nil
+	})
+	if err != nil {
+		return err
 	}
-	slices.Sort(keys)
+	par.SortU64(size(len(keys)), keys)
 	for i := 1; i < len(keys); i++ {
 		if keys[i] == keys[i-1] {
 			return fmt.Errorf("graph: duplicate edge %d-%d", keys[i]>>32, uint32(keys[i]))
@@ -489,7 +541,7 @@ func (g *Graph) Validate() error {
 	// Port-table, adjacency and weight reciprocity, in parallel over edge
 	// ranges; par.FirstFailure reports the lowest failing edge, the same
 	// error a sequential scan would return.
-	err := par.FirstFailure(buildWorkers(len(g.edges)), len(g.edges), func(_, lo, hi int) (int, error) {
+	err = par.FirstFailure(size(len(g.edges)), len(g.edges), func(_, lo, hi int) (int, error) {
 		for ei := lo; ei < hi; ei++ {
 			e := g.edges[ei]
 			switch {

@@ -1,0 +1,141 @@
+package par
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Profile measures the work/span structure of a pipeline built on this
+// package, for hosts whose physical core count cannot realise the
+// requested parallelism (the committed benchmarks must still report an
+// honest scaling number there — see DESIGN.md §2.12).
+//
+// While a profile is active, Ranges and Steal run their chunks
+// sequentially on the caller's goroutine and record each chunk's wall
+// duration into one region per call. The output is byte-identical to a
+// parallel run (that is the package contract), so the profiled run
+// doubles as a reference run. Afterwards ProjectNS computes, from the
+// recorded chunk durations, the wall time a greedy non-idling scheduler
+// would achieve at the target worker count (classic list scheduling /
+// Brent bound: per region, chunks are assigned in order to the earliest-
+// free worker; regions are separated by barriers so their makespans
+// add). Time spent outside Ranges/Steal is the pipeline's serial
+// fraction; callers obtain it as totalWall − WorkNS and add it to the
+// projection unchanged.
+//
+// The projection is a model, not a measurement of memory-bandwidth or
+// cache contention; rows derived from it are labelled "work-span" in
+// the benchmark output, never silently mixed with measured wall ratios.
+//
+// Profiles are process-global (one at a time) and intended for
+// single-pipeline benchmark runs; nested Ranges/Steal calls inside a
+// profiled region are not supported.
+type Profile struct {
+	workers int
+	regions [][]int64 // per Ranges/Steal call, chunk durations in ns
+}
+
+var currentProfile atomic.Pointer[Profile]
+
+func activeProfile() *Profile { return currentProfile.Load() }
+
+// StartProfile activates work/span recording targeted at the given
+// worker count and returns the collecting profile. It panics if a
+// profile is already active.
+func StartProfile(workers int) *Profile {
+	p := &Profile{workers: Workers(workers)}
+	if !currentProfile.CompareAndSwap(nil, p) {
+		panic("par: StartProfile while a profile is active")
+	}
+	return p
+}
+
+// Stop deactivates the profile; its recorded regions remain readable.
+func (p *Profile) Stop() {
+	if !currentProfile.CompareAndSwap(p, nil) {
+		panic("par: Stop of a profile that is not active")
+	}
+}
+
+// Workers returns the target worker count the profile projects for.
+func (p *Profile) Workers() int { return p.workers }
+
+// Regions returns the number of recorded parallel regions.
+func (p *Profile) Regions() int { return len(p.regions) }
+
+// runRegion executes one Ranges/Steal call sequentially, timing each
+// chunk. Chunk boundaries are exactly the ones the parallel execution
+// would use (Ranges splits for the target worker count; Steal uses its
+// fixed chunk size), so the recorded durations are the units the real
+// scheduler would balance. Only called from the profiling goroutine.
+func (p *Profile) runRegion(n, chunk int, fn func(w, lo, hi int)) {
+	durs := make([]int64, 0, (n+chunk-1)/chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		start := time.Now()
+		fn(0, lo, hi)
+		durs = append(durs, time.Since(start).Nanoseconds())
+	}
+	p.regions = append(p.regions, durs)
+}
+
+// rangesChunk mirrors Ranges' chunking for the profile's target worker
+// count, so a profiled Ranges region records per-worker-range durations.
+func (p *Profile) rangesChunk(workers, n int) int {
+	if workers <= 0 || workers > p.workers {
+		workers = p.workers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return (n + workers - 1) / workers
+}
+
+// WorkNS returns the total work inside recorded parallel regions: the
+// wall time those regions take at one worker.
+func (p *Profile) WorkNS() int64 {
+	var sum int64
+	for _, durs := range p.regions {
+		for _, d := range durs {
+			sum += d
+		}
+	}
+	return sum
+}
+
+// ProjectNS returns the projected wall time of the recorded parallel
+// regions at the given worker count, by greedy list scheduling within
+// each region (chunks assigned in order to the earliest-free worker)
+// and a barrier between regions.
+func (p *Profile) ProjectNS(workers int) int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	free := make([]int64, workers)
+	var total int64
+	for _, durs := range p.regions {
+		for i := range free {
+			free[i] = 0
+		}
+		for _, d := range durs {
+			min := 0
+			for w := 1; w < workers; w++ {
+				if free[w] < free[min] {
+					min = w
+				}
+			}
+			free[min] += d
+		}
+		makespan := int64(0)
+		for _, f := range free {
+			if f > makespan {
+				makespan = f
+			}
+		}
+		total += makespan
+	}
+	return total
+}

@@ -1,0 +1,142 @@
+package par
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProfileRecordsRegions checks that Ranges and Steal calls under an
+// active profile run sequentially (worker index always 0), cover the
+// input exactly once, and are recorded as one region each.
+func TestProfileRecordsRegions(t *testing.T) {
+	p := StartProfile(8)
+	defer func() {
+		if activeProfile() != nil {
+			p.Stop()
+		}
+	}()
+	const n = 10_000
+	visits := make([]int, n)
+	Ranges(4, n, func(w, lo, hi int) {
+		if w != 0 {
+			t.Errorf("profiled Ranges ran worker %d, want sequential 0", w)
+		}
+		for i := lo; i < hi; i++ {
+			visits[i]++
+		}
+	})
+	Steal(4, n, 512, func(w, lo, hi int) {
+		if w != 0 {
+			t.Errorf("profiled Steal ran worker %d, want sequential 0", w)
+		}
+		for i := lo; i < hi; i++ {
+			visits[i]++
+		}
+	})
+	p.Stop()
+	for i, v := range visits {
+		if v != 2 {
+			t.Fatalf("index %d visited %d times, want 2", i, v)
+		}
+	}
+	if p.Regions() != 2 {
+		t.Errorf("Regions() = %d, want 2", p.Regions())
+	}
+	if p.Workers() != 8 {
+		t.Errorf("Workers() = %d, want 8", p.Workers())
+	}
+	if p.WorkNS() <= 0 {
+		t.Errorf("WorkNS() = %d, want positive", p.WorkNS())
+	}
+}
+
+// TestProfileProjection checks the list-scheduling projection against
+// hand-checkable region shapes: one worker reproduces the full work, and
+// projections are monotone non-increasing in workers but never below the
+// region-wise critical path (longest chunk per region).
+func TestProfileProjection(t *testing.T) {
+	p := &Profile{
+		workers: 8,
+		regions: [][]int64{
+			{100, 100, 100, 100}, // perfectly balanced
+			{400, 100, 100, 100}, // one dominant chunk
+		},
+	}
+	if got := p.ProjectNS(1); got != p.WorkNS() {
+		t.Errorf("ProjectNS(1) = %d, want WorkNS %d", got, p.WorkNS())
+	}
+	// 2 workers: region 1 = 200 (two chunks each); region 2 = 400
+	// (greedy puts 400 alone, the three 100s on the other worker).
+	if got := p.ProjectNS(2); got != 600 {
+		t.Errorf("ProjectNS(2) = %d, want 600", got)
+	}
+	// 4+ workers: region 1 = 100, region 2 = 400 (critical path).
+	if got := p.ProjectNS(4); got != 500 {
+		t.Errorf("ProjectNS(4) = %d, want 500", got)
+	}
+	if got := p.ProjectNS(64); got != 500 {
+		t.Errorf("ProjectNS(64) = %d, want critical path 500", got)
+	}
+	prev := p.ProjectNS(1)
+	for w := 2; w <= 16; w++ {
+		cur := p.ProjectNS(w)
+		if cur > prev {
+			t.Errorf("ProjectNS not monotone: %d workers %d > %d workers %d", w, cur, w-1, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestProfileExclusive checks the process-global single-profile rule.
+func TestProfileExclusive(t *testing.T) {
+	p := StartProfile(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nested StartProfile did not panic")
+			}
+		}()
+		StartProfile(2)
+	}()
+	p.Stop()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Stop did not panic")
+			}
+		}()
+		p.Stop()
+	}()
+}
+
+// TestProfileProjectionSanity runs a real workload under the profiler and
+// checks the projection lands between the serial work and the critical
+// path — the two bounds any schedule must respect.
+func TestProfileProjectionSanity(t *testing.T) {
+	p := StartProfile(8)
+	Steal(8, 1<<14, 256, func(w, lo, hi int) {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += i * i
+		}
+		_ = s
+		time.Sleep(10 * time.Microsecond) // make chunk durations resolvable
+	})
+	p.Stop()
+	work := p.WorkNS()
+	proj := p.ProjectNS(8)
+	if proj <= 0 || proj > work {
+		t.Fatalf("ProjectNS(8) = %d out of (0, WorkNS=%d]", proj, work)
+	}
+	var longest int64
+	for _, r := range p.regions {
+		for _, d := range r {
+			if d > longest {
+				longest = d
+			}
+		}
+	}
+	if proj < longest {
+		t.Errorf("projection %d below critical path %d", proj, longest)
+	}
+}

@@ -1,0 +1,165 @@
+package par
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStealCoverage checks every index in [0, n) is executed exactly once
+// for a spread of worker counts, sizes and chunk granularities, including
+// workers > chunks and n smaller than one chunk.
+func TestStealCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, chunk := range []int{1, 7, 64, DefaultChunk} {
+			for _, n := range []int{0, 1, 2, 63, 64, 65, 1000, 4097} {
+				visits := make([]int32, n)
+				Steal(workers, n, chunk, func(w, lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("workers=%d chunk=%d n=%d: bad range [%d,%d)", workers, chunk, n, lo, hi)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&visits[i], 1)
+					}
+				})
+				for i, v := range visits {
+					if v != 1 {
+						t.Fatalf("workers=%d chunk=%d n=%d: index %d visited %d times", workers, chunk, n, i, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStealWorkerIndexBounds checks the executing-worker index stays
+// within the requested pool (per-worker accumulators rely on it).
+func TestStealWorkerIndexBounds(t *testing.T) {
+	const workers = 6
+	Steal(workers, 10_000, 16, func(w, lo, hi int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker index %d out of [0,%d)", w, workers)
+		}
+	})
+}
+
+// TestStealContention drives many workers over tiny chunks so nearly
+// every claim races an attempted steal; under -race this exercises the
+// packed-CAS deque transitions, and the atomic sum checks no chunk is
+// lost or duplicated.
+func TestStealContention(t *testing.T) {
+	const n, chunk, workers = 1 << 16, 4, 16
+	var sum atomic.Int64
+	for round := 0; round < 8; round++ {
+		sum.Store(0)
+		Steal(workers, n, chunk, func(w, lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				local += int64(i)
+			}
+			sum.Add(local)
+		})
+		want := int64(n) * int64(n-1) / 2
+		if got := sum.Load(); got != want {
+			t.Fatalf("round %d: sum = %d, want %d", round, got, want)
+		}
+	}
+}
+
+// TestStealEmptyTermination checks Steal returns promptly when queues are
+// empty or near-empty: zero work, a single chunk, and far more workers
+// than chunks (most deques start empty, so each worker's first action is
+// an all-empty scan that must terminate it).
+func TestStealEmptyTermination(t *testing.T) {
+	ran := 0
+	Steal(8, 0, 64, func(w, lo, hi int) { ran++ })
+	if ran != 0 {
+		t.Errorf("n=0 ran fn %d times", ran)
+	}
+	var calls atomic.Int32
+	Steal(8, 10, 64, func(w, lo, hi int) { calls.Add(1) })
+	if calls.Load() != 1 {
+		t.Errorf("single-chunk run called fn %d times, want 1", calls.Load())
+	}
+	calls.Store(0)
+	Steal(64, 3*64, 64, func(w, lo, hi int) { calls.Add(1) })
+	if calls.Load() != 3 {
+		t.Errorf("workers≫chunks called fn %d times, want 3", calls.Load())
+	}
+}
+
+// randVictims builds a full victim-scan permutation per worker from a
+// seeded source, so stealOrdered probes queues in an adversarial but
+// reproducible order.
+func randVictims(rng *rand.Rand, workers int) [][]int {
+	v := make([][]int, workers)
+	for w := 0; w < workers; w++ {
+		others := make([]int, 0, workers-1)
+		for o := 0; o < workers; o++ {
+			if o != w {
+				others = append(others, o)
+			}
+		}
+		rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
+		v[w] = others
+	}
+	return v
+}
+
+// TestStealMetamorphicSchedules is the metamorphic determinism test: the
+// same reduction run under many adversarial steal schedules (randomised
+// victim-scan orders) and worker counts must produce the exact result of
+// the sequential scan, because the per-bucket minimum under the
+// (value, index) total order is an order-independent semigroup — the same
+// shape as the phase kernel's per-fragment min-edge merge.
+func TestStealMetamorphicSchedules(t *testing.T) {
+	const n, buckets = 50_000, 97
+	vals := make([]uint32, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := range vals {
+		vals[i] = uint32(rng.Intn(1000)) // heavy ties: the index tiebreak must decide
+	}
+	key := func(i int) uint64 { return uint64(vals[i])<<32 | uint64(uint32(i)) }
+	want := make([]uint64, buckets)
+	for b := range want {
+		want[b] = ^uint64(0)
+	}
+	for i := 0; i < n; i++ {
+		b := i % buckets
+		if k := key(i); k < want[b] {
+			want[b] = k
+		}
+	}
+	for _, workers := range []int{2, 3, 8} {
+		for trial := 0; trial < 6; trial++ {
+			victims := randVictims(rand.New(rand.NewSource(int64(workers*100+trial))), workers)
+			acc := make([][]uint64, workers)
+			for w := range acc {
+				acc[w] = make([]uint64, buckets)
+				for b := range acc[w] {
+					acc[w][b] = ^uint64(0)
+				}
+			}
+			stealOrdered(workers, n, 128, victims, func(w, lo, hi int) {
+				a := acc[w]
+				for i := lo; i < hi; i++ {
+					b := i % buckets
+					if k := key(i); k < a[b] {
+						a[b] = k
+					}
+				}
+			})
+			for b := 0; b < buckets; b++ {
+				got := ^uint64(0)
+				for w := 0; w < workers; w++ {
+					if acc[w][b] < got {
+						got = acc[w][b]
+					}
+				}
+				if got != want[b] {
+					t.Fatalf("workers=%d trial=%d bucket %d: merged min %#x, want %#x", workers, trial, b, got, want[b])
+				}
+			}
+		}
+	}
+}

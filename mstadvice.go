@@ -372,6 +372,21 @@ func GenExpander(n, k int, rng *rand.Rand, opt GenOptions) *Graph {
 	return gen.Expander(n, k, rng, opt)
 }
 
+// GenSeededOptions configure the seeded parallel generators.
+type GenSeededOptions = gen.SeededOptions
+
+// GenSeeded builds a graph of the named family (any name in
+// GenFamilyNames) with counter-mode seeded randomness: the result is a
+// pure function of (name, n, seed) — bit-identical for any worker
+// count — and generation runs in parallel (DESIGN.md §2.12).
+func GenSeeded(name string, n int, seed uint64, opt GenSeededOptions) (*Graph, error) {
+	return gen.BuildSeeded(name, n, seed, opt)
+}
+
+// GenFamilyNames lists the registered graph-family names accepted by
+// GenSeeded.
+func GenFamilyNames() []string { return gen.Names() }
+
 // Lower-bound re-exports (Theorem 1).
 type (
 	// Gn is the paper's Figure 1 graph.
